@@ -1,0 +1,77 @@
+// Micro-bench: matrix generation scaling and the analytic-inner-integral
+// ablation (paper §4.3: generation is O(M^2 p^2 / 2) and dominates).
+#include <benchmark/benchmark.h>
+
+#include "src/ebem.hpp"
+
+namespace {
+
+using namespace ebem;
+
+bem::BemModel grid_model(std::size_t cells, const soil::LayeredSoil& soil) {
+  geom::RectGridSpec spec;
+  spec.length_x = 10.0 * static_cast<double>(cells);
+  spec.length_y = 10.0 * static_cast<double>(cells);
+  spec.cells_x = cells;
+  spec.cells_y = cells;
+  return bem::BemModel(geom::Mesh::build(geom::make_rect_grid(spec)), soil);
+}
+
+void BM_AssembleUniform(benchmark::State& state) {
+  const auto soil = soil::LayeredSoil::uniform(0.016);
+  const bem::BemModel model = grid_model(static_cast<std::size_t>(state.range(0)), soil);
+  bem::AssemblyOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bem::assemble(model, options));
+  }
+  state.counters["elements"] = static_cast<double>(model.element_count());
+  state.SetComplexityN(static_cast<int64_t>(model.element_count()));
+}
+BENCHMARK(BM_AssembleUniform)->Arg(2)->Arg(3)->Arg(4)->Arg(6)->Complexity(benchmark::oNSquared);
+
+void BM_AssembleTwoLayer(benchmark::State& state) {
+  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const bem::BemModel model = grid_model(static_cast<std::size_t>(state.range(0)), soil);
+  bem::AssemblyOptions options;
+  options.series.tolerance = 1e-6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bem::assemble(model, options));
+  }
+  state.counters["elements"] = static_cast<double>(model.element_count());
+}
+BENCHMARK(BM_AssembleTwoLayer)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_AssembleInnerMode(benchmark::State& state) {
+  // Analytic inner integral vs Gauss x Gauss at matched accuracy targets.
+  const auto soil = soil::LayeredSoil::uniform(0.016);
+  const bem::BemModel model = grid_model(3, soil);
+  bem::AssemblyOptions options;
+  if (state.range(0) == 0) {
+    options.integrator.inner = bem::InnerIntegration::kAnalytic;
+  } else {
+    options.integrator.inner = bem::InnerIntegration::kGauss;
+    options.integrator.inner_gauss_points = static_cast<std::size_t>(state.range(0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bem::assemble(model, options));
+  }
+  state.SetLabel(state.range(0) == 0 ? "analytic"
+                                     : std::to_string(state.range(0)) + "-pt Gauss");
+}
+BENCHMARK(BM_AssembleInnerMode)->Arg(0)->Arg(8)->Arg(24);
+
+void BM_SurfaceGridEvaluation(benchmark::State& state) {
+  // The second parallelizable stage: potential at many surface points.
+  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const bem::BemModel model = grid_model(3, soil);
+  bem::AnalysisOptions options;
+  options.assembly.series.tolerance = 1e-6;
+  const bem::AnalysisResult result = bem::analyze(model, options);
+  const post::PotentialEvaluator evaluator(model, result.sigma);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.surface_grid(-5, 35, -5, 35, 12, 12));
+  }
+}
+BENCHMARK(BM_SurfaceGridEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Ablation for the paper's §4.3 cost model: matrix generation is
+// O(M^2 p^2 / 2) and dominates small/medium problems; direct solving is
+// O(N^3 / 3) and would prevail for large ones — which is why the paper
+// pairs parallel generation with a PCG solver whose cost "should never
+// prevail".
+//
+// This bench measures generation vs solve time across grid sizes for both
+// solvers and reports the generation share.
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+int main() {
+  using namespace ebem;
+  std::printf("Matrix generation vs linear solve — uniform soil, growing grids\n\n");
+  io::Table table({"cells", "N (dof)", "gen (s)", "chol (s)", "pcg (s)", "pcg iters",
+                   "gen share vs chol"});
+
+  for (std::size_t cells : {4u, 8u, 12u, 16u, 20u}) {
+    geom::RectGridSpec spec;
+    spec.length_x = 10.0 * static_cast<double>(cells);
+    spec.length_y = spec.length_x;
+    spec.cells_x = cells;
+    spec.cells_y = cells;
+    const bem::BemModel model(geom::Mesh::build(geom::make_rect_grid(spec)),
+                              soil::LayeredSoil::uniform(0.02));
+
+    WallTimer generation_timer;
+    const bem::AssemblyResult system = bem::assemble(model, {});
+    const double generation = generation_timer.seconds();
+
+    WallTimer cholesky_timer;
+    bem::SolveStats direct_stats{};
+    (void)bem::solve(system.matrix, system.rhs, {.kind = bem::SolverKind::kCholesky},
+                     &direct_stats);
+    const double cholesky = cholesky_timer.seconds();
+
+    WallTimer pcg_timer;
+    bem::SolveStats pcg_stats{};
+    (void)bem::solve(system.matrix, system.rhs,
+                     {.kind = bem::SolverKind::kPcg, .cg_tolerance = 1e-12}, &pcg_stats);
+    const double pcg = pcg_timer.seconds();
+
+    table.add_row({std::to_string(cells) + "x" + std::to_string(cells),
+                   std::to_string(system.matrix.size()), io::Table::num(generation, 4),
+                   io::Table::num(cholesky, 4), io::Table::num(pcg, 4),
+                   std::to_string(pcg_stats.iterations),
+                   io::Table::num(100.0 * generation / (generation + cholesky), 1) + "%"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shapes to check: generation grows ~N^2 and dominates at these sizes\n"
+              "(uniform soil is the *cheapest* generation case — any layered model\n"
+              "multiplies the generation column, never the solve columns); Cholesky\n"
+              "grows ~N^3 and closes the gap as N rises; PCG stays far below both,\n"
+              "with iteration counts nearly flat in N (the paper's §4.3 conclusion).\n");
+  return 0;
+}

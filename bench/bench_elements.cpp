@@ -1,0 +1,44 @@
+// Ablation: Galerkin linear elements vs constant-collocation elements under
+// mesh refinement.
+//
+// Background (paper §1 and ref [6] "Why do computer methods for grounding
+// analysis produce anomalous results?"): older point-matching methods drift
+// as segmentation increases. The Galerkin formulation is the paper's answer;
+// this bench tracks Req for both bases as elements shrink.
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+int main() {
+  using namespace ebem;
+  geom::RectGridSpec spec;
+  spec.length_x = 30.0;
+  spec.length_y = 30.0;
+  spec.cells_x = 3;
+  spec.cells_y = 3;
+  const auto grid = geom::make_rect_grid(spec);
+  const auto soil = soil::LayeredSoil::uniform(0.02);
+
+  std::printf("Element-type ablation — 30x30 m grid, uniform soil (Req in Ohm)\n\n");
+  io::Table table({"target elem (m)", "elements", "Galerkin linear", "constant"});
+
+  for (double h : {10.0, 5.0, 2.5, 1.25}) {
+    cad::DesignOptions linear;
+    linear.mesh.target_element_length = h;
+    linear.analysis.assembly.integrator.basis = bem::BasisKind::kLinear;
+    cad::GroundingSystem ls(grid, soil, linear);
+    const double linear_req = ls.analyze().equivalent_resistance;
+
+    cad::DesignOptions constant = linear;
+    constant.analysis.assembly.integrator.basis = bem::BasisKind::kConstant;
+    cad::GroundingSystem cs(grid, soil, constant);
+    const double constant_req = cs.analyze().equivalent_resistance;
+
+    table.add_row({io::Table::num(h, 2), std::to_string(ls.model().element_count()),
+                   io::Table::num(linear_req, 5), io::Table::num(constant_req, 5)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shape to check: both bases converge to the same Req from above/below;\n"
+              "the Galerkin linear column settles fastest (the paper's design choice).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation for the paper's feasibility argument (§1/§3): domain
+// discretization (FD) vs boundary discretization (BEM) for the same
+// grounding problem. The FD column needs five orders of magnitude more
+// unknowns to reach percent-level agreement on a single conductor — on a
+// full substation grid the gap is what makes FD "completely out of range".
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+int main() {
+  using namespace ebem;
+  const std::vector<geom::Conductor> rod{{{0, 0, -0.5}, {0, 0, -8.5}, 0.5}};
+  const auto soil = soil::LayeredSoil::uniform(0.01);
+
+  std::printf("FD (domain) vs BEM (boundary) — single 8 m rod, uniform soil\n\n");
+  io::Table table({"method", "unknowns", "Req (Ohm)", "time (s)"});
+
+  // BEM at two refinements.
+  for (double h : {2.0, 0.5}) {
+    geom::MeshOptions mesh_options;
+    mesh_options.target_element_length = h;
+    const bem::BemModel model(geom::Mesh::build(rod, mesh_options), soil);
+    WallTimer timer;
+    const bem::AnalysisResult result = bem::analyze(model, {});
+    table.add_row({"BEM h=" + io::Table::num(h, 1) + "m",
+                   std::to_string(model.dof_count(bem::BasisKind::kLinear)),
+                   io::Table::num(result.equivalent_resistance),
+                   io::Table::num(timer.seconds(), 4)});
+  }
+
+  // FD at growing lattice sizes.
+  for (std::size_t cells : {24u, 40u, 56u}) {
+    fdm::FdOptions options;
+    options.padding = 40.0;
+    options.cells_x = cells;
+    options.cells_y = cells;
+    options.cells_z = (3 * cells) / 4;
+    WallTimer timer;
+    const fdm::FdResult fd = fdm::solve_grounding(rod, soil, options);
+    table.add_row({"FD " + std::to_string(cells) + "^3-ish", std::to_string(fd.unknowns),
+                   io::Table::num(fd.equivalent_resistance), io::Table::num(timer.seconds(), 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shape to check: the FD estimates bracket the BEM value while the node-line\n"
+              "effective radius converges toward the true one, at unknown counts (and\n"
+              "times) that already dwarf the BEM for ONE conductor — the paper's\n"
+              "motivation for a boundary-element formulation (§1/§3).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 6.1: speed-up vs processor count (1..64) for outer-loop vs
+// inner-loop parallelization of the matrix generation.
+//
+// Outer: the measured per-column costs are scheduled directly (one task per
+// column of the element-pair triangle). Inner: each column is an individual
+// parallel loop over its rows with a synchronization point per column, which
+// is where the granularity penalty the paper describes comes from. A small
+// per-chunk dispatch overhead (measured scale, ~2 us) is charged in both
+// models; it is negligible for the 400-odd outer tasks and material for the
+// ~85k inner tasks.
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+namespace {
+
+double inner_loop_makespan(const std::vector<double>& column_costs, std::size_t p,
+                           const ebem::par::SimOptions& overhead) {
+  // Columns run sequentially; each column's rows are dynamically scheduled.
+  const std::size_t m = column_costs.size();
+  double total = 0.0;
+  for (std::size_t beta = 0; beta < m; ++beta) {
+    const std::size_t rows = m - beta;
+    const double row_cost = column_costs[beta] / static_cast<double>(rows);
+    const std::vector<double> rows_costs(rows, row_cost);
+    total += ebem::par::simulate_schedule(rows_costs, p, ebem::par::Schedule::dynamic(1),
+                                          overhead)
+                 .makespan;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebem;
+  const cad::BarberaCase barbera = cad::barbera_case();
+
+  cad::DesignOptions options;
+  options.analysis.gpr = barbera.gpr;
+  options.analysis.assembly.series.tolerance = 1e-6;
+  options.analysis.assembly.measure_column_costs = true;
+  cad::GroundingSystem system(barbera.conductors, barbera.two_layer_soil, options);
+  const cad::Report& report = system.analyze();
+  const std::vector<double>& costs = report.column_costs;
+
+  double sequential = 0.0;
+  for (double c : costs) sequential += c;
+  const par::SimOptions overhead{.per_chunk_overhead = 2e-6};
+
+  std::printf("Fig. 6.1 — Barbera two-layer: speed-up vs number of processors\n");
+  std::printf("(outer-loop = continuous line in the paper; inner-loop = dashed)\n\n");
+  io::Table table({"p", "outer-loop", "inner-loop"});
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 24u, 32u, 48u, 64u}) {
+    const double outer =
+        par::simulate_schedule(costs, p, par::Schedule::dynamic(1), overhead).makespan;
+    const double inner = inner_loop_makespan(costs, p, overhead);
+    table.add_row({std::to_string(p), io::Table::num(sequential / outer, 2),
+                   io::Table::num(sequential / inner, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shape to check vs the paper: outer tracks the ideal line closely up to\n"
+              "high processor counts; inner falls away as granularity shrinks (the last\n"
+              "columns have fewer rows than processors) and per-column syncs accumulate.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: unequal (graded) conductor spacing vs the uniform mesh at
+// equal conductor cost.
+//
+// Classical grounding-design result (IEEE Std 80 discussion of unequal
+// spacing): compressing conductors toward the perimeter evens out the
+// leakage density — edge conductors no longer run far hotter than central
+// ones — and trims the mesh (worst touch) voltage for the same material.
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+int main() {
+  using namespace ebem;
+  const auto soil = soil::LayeredSoil::uniform(0.02);
+  const double gpr = 10e3;
+
+  std::printf("Graded vs uniform spacing — 40x40 m grid, 5x5 mesh, equal copper\n\n");
+  io::Table table({"grading", "Req (Ohm)", "sigma max/mean", "mesh voltage (V)"});
+
+  for (double grading : {1.0, 1.5, 2.0, 2.5, 3.0}) {
+    geom::GradedRectGridSpec spec;
+    spec.length_x = 40.0;
+    spec.length_y = 40.0;
+    spec.cells_x = 5;
+    spec.cells_y = 5;
+    spec.grading = grading;
+    const auto grid = geom::make_graded_rect_grid(spec);
+
+    cad::DesignOptions options;
+    options.analysis.gpr = gpr;
+    cad::GroundingSystem system(grid, soil, options);
+    const cad::Report& report = system.analyze();
+
+    const auto leakage =
+        post::element_leakage(system.model(), system.solution(), bem::BasisKind::kLinear);
+    const post::LeakageStats stats = post::leakage_stats(system.model(), leakage);
+
+    const auto evaluator = system.potential_evaluator();
+    const double mesh_v = post::mesh_voltage(evaluator, gpr, 2.0, 38.0, 2.0, 38.0, 9, 9);
+
+    table.add_row({io::Table::num(grading, 1), io::Table::num(report.equivalent_resistance),
+                   io::Table::num(stats.max_line_density / stats.mean_line_density, 3),
+                   io::Table::num(mesh_v, 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shapes to check: the density spread (max/mean) falls as grading rises;\n"
+              "the mesh voltage improves through moderate grading at nearly constant\n"
+              "Req (Req depends mostly on area and total length, not the layout).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-bench: image-series kernel evaluation cost across soil
+// configurations and tolerances.
+//
+// Quantifies §4.3's observation that two-layer matrix generation is far
+// more expensive than uniform (infinite vs 2-term series) and §6.2's note
+// that layer contrast (|kappa| -> 1) slows convergence — the root cause of
+// Table 6.3's model B vs C gap.
+#include <benchmark/benchmark.h>
+
+#include "src/ebem.hpp"
+
+namespace {
+
+using ebem::geom::Vec3;
+using ebem::soil::ImageKernel;
+using ebem::soil::LayeredSoil;
+using ebem::soil::SeriesOptions;
+
+void BM_KernelUniform(benchmark::State& state) {
+  const ImageKernel kernel(LayeredSoil::uniform(0.016));
+  const Vec3 x{3, 0, -0.5};
+  const Vec3 xi{0, 0, -0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.evaluate_regularized(x, xi, 0.006));
+  }
+  state.counters["terms"] = static_cast<double>(kernel.terms(0, 0).size());
+}
+BENCHMARK(BM_KernelUniform);
+
+void BM_KernelTwoLayerContrast(benchmark::State& state) {
+  // kappa sweep: 0.1 .. 0.9 by argument; higher contrast -> longer series.
+  const double kappa = static_cast<double>(state.range(0)) / 10.0;
+  // Solve (g1-g2)/(g1+g2) = -kappa with g2 = 0.016.
+  const double g2 = 0.016;
+  const double g1 = g2 * (1.0 - kappa) / (1.0 + kappa);
+  const ImageKernel kernel(LayeredSoil::two_layer(g1, g2, 1.0), SeriesOptions{1e-9, 4096});
+  const Vec3 x{3, 0, -0.5};
+  const Vec3 xi{0, 0, -0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.evaluate_regularized(x, xi, 0.006));
+  }
+  state.counters["terms"] = static_cast<double>(kernel.terms(0, 0).size());
+}
+BENCHMARK(BM_KernelTwoLayerContrast)->Arg(1)->Arg(3)->Arg(5)->Arg(8)->Arg(9);
+
+void BM_KernelByLayerPair(benchmark::State& state) {
+  // The four (source, field) layer families have different image counts:
+  // upper-upper carries 4 images per reflection (model C's burden).
+  const LayeredSoil soil = LayeredSoil::two_layer(0.0025, 0.02, 1.0);
+  const ImageKernel kernel(soil, SeriesOptions{1e-9, 4096});
+  const bool src_upper = state.range(0) != 0;
+  const bool field_upper = state.range(1) != 0;
+  const Vec3 xi{0, 0, src_upper ? -0.5 : -1.5};
+  const Vec3 x{3, 0, field_upper ? -0.4 : -1.6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.evaluate_regularized(x, xi, 0.006));
+  }
+  state.counters["terms"] = static_cast<double>(
+      kernel.terms(src_upper ? 0 : 1, field_upper ? 0 : 1).size());
+}
+BENCHMARK(BM_KernelByLayerPair)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({0, 0});
+
+void BM_SegmentInnerIntegralAnalytic(benchmark::State& state) {
+  // The workhorse closed form behind every elemental coefficient.
+  const Vec3 p{0.5, 1.0, -0.8};
+  const Vec3 a{0, 0, -0.8};
+  const Vec3 b{5, 0, -0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebem::bem::segment_potentials(p, a, b, 0.006));
+  }
+}
+BENCHMARK(BM_SegmentInnerIntegralAnalytic);
+
+void BM_HankelOracle(benchmark::State& state) {
+  // The validation oracle is orders of magnitude slower than the image
+  // series — which is why the production path uses images.
+  const LayeredSoil soil = LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const ebem::soil::HankelKernel kernel(soil);
+  const Vec3 x{3, 0, -0.5};
+  const Vec3 xi{0, 0, -0.8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.evaluate(x, xi));
+  }
+}
+BENCHMARK(BM_HankelOracle)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

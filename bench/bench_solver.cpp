@@ -1,0 +1,66 @@
+// Micro-bench: direct Cholesky vs diagonally preconditioned CG (paper §4.3:
+// "iterative or semiiterative techniques will be preferable ... the cost of
+// the system resolution should never prevail").
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "src/ebem.hpp"
+
+namespace {
+
+using ebem::la::SymMatrix;
+
+/// SPD matrix with BEM-like structure: strong diagonal, smooth positive
+/// off-diagonal decay (1/r-ish coupling).
+SymMatrix bem_like_matrix(std::size_t n) {
+  SymMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      a(i, j) = 1.0 / (1.0 + 0.5 * static_cast<double>(i - j));
+    }
+    a(i, i) = 10.0 + 0.01 * static_cast<double>(i % 7);
+  }
+  return a;
+}
+
+void BM_Cholesky(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SymMatrix a = bem_like_matrix(n);
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    const ebem::la::Cholesky factor(a);
+    benchmark::DoNotOptimize(factor.solve(b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Cholesky)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Complexity(benchmark::oNCubed);
+
+void BM_Pcg(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SymMatrix a = bem_like_matrix(n);
+  std::vector<double> b(n, 1.0);
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    const auto result = ebem::la::conjugate_gradient(a, b, {.tolerance = 1e-12});
+    iterations = result.iterations;
+    benchmark::DoNotOptimize(result.x.data());
+  }
+  state.counters["iters"] = static_cast<double>(iterations);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Pcg)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Complexity(benchmark::oNSquared);
+
+void BM_SymMatVec(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SymMatrix a = bem_like_matrix(n);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> y(n);
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SymMatVec)->Arg(256)->Arg(1024);
+
+}  // namespace

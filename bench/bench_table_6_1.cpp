@@ -1,0 +1,33 @@
+// Table 6.1: CPU time of each program phase for the Barbera two-layer
+// analysis in sequential execution.
+//
+// The paper (on one 250 MHz R10000 processor) reports matrix generation at
+// 1723 s out of a 1724 s total — 99.9% of the work. The absolute numbers
+// here are orders of magnitude smaller on modern hardware; the shape to
+// check is the matrix-generation share.
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+int main() {
+  using namespace ebem;
+  const cad::BarberaCase barbera = cad::barbera_case();  // paper-scale ~408 segments
+
+  cad::DesignOptions options;
+  options.analysis.gpr = barbera.gpr;
+  options.analysis.assembly.series.tolerance = 1e-6;
+
+  cad::GroundingSystem system(barbera.conductors, barbera.two_layer_soil, options);
+  const cad::Report& report = system.analyze();
+
+  std::printf("Table 6.1 — Barbera two-layer analysis, sequential execution\n\n");
+  std::printf("%s\n", report.phases.to_string().c_str());
+  std::printf("Matrix generation share of CPU time: %.2f%%  (paper: 99.9%%)\n",
+              100.0 * report.phases.cpu_fraction(Phase::kMatrixGeneration));
+  std::printf("Req = %.4f Ohm, I = %.2f kA, %zu elements / %zu DoF\n",
+              report.equivalent_resistance, report.total_current / 1e3, report.element_count,
+              report.dof_count);
+  std::printf("\nPaper reference (O2000, seconds): input 0.737, preprocess 0.045,\n"
+              "matrix generation 1723.207, solve 0.211, storage 0.015.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Balaidos substation reproduction (paper §5.2, Table 5.1, Figs. 5.3-5.4).
+//
+// Analyzes the rod-supplemented Balaidos grid under three soil models and
+// prints Table 5.1 next to the paper's values.
+//
+//   $ ./balaidos
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+int main() {
+  using namespace ebem;
+  const cad::BalaidosCase balaidos = cad::balaidos_case();
+  std::printf("Balaidos grounding system: %zu conductors (incl. 67 rods), GPR = %.0f kV\n\n",
+              balaidos.conductors.size(), balaidos.gpr / 1e3);
+
+  cad::DesignOptions options;
+  options.analysis.gpr = balaidos.gpr;
+  options.analysis.assembly.series.tolerance = 1e-6;
+
+  io::Table table({"Soil Model", "Req (Ohm)", "I (kA)", "paper Req", "paper I"});
+  const struct {
+    const char* name;
+    soil::LayeredSoil soil;
+    double paper_req;
+    double paper_current;
+  } models[] = {
+      {"A (uniform)", balaidos.soil_a, 0.3366, 29.71},
+      {"B (2-layer, h=0.7m)", balaidos.soil_b, 0.3522, 28.39},
+      {"C (2-layer, h=1.0m)", balaidos.soil_c, 0.4860, 20.58},
+  };
+
+  for (const auto& model : models) {
+    cad::GroundingSystem system(balaidos.conductors, model.soil, options);
+    const cad::Report& report = system.analyze();
+    table.add_row({model.name, io::Table::num(report.equivalent_resistance),
+                   io::Table::num(report.total_current / 1e3, 2),
+                   io::Table::num(model.paper_req), io::Table::num(model.paper_current, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper Table 5.1 reference: results vary noticeably across soil models,\n"
+              "which is the argument for multi-layer analysis in grounding design.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Automated design search: give the CAD loop a site, a soil model and the
+// design goals; it walks the candidate ladder until Req and IEEE Std 80
+// touch/step limits are met.
+//
+//   $ ./design_search
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+int main() {
+  using namespace ebem;
+
+  // Site and soil (two-layer: resistive crust over conductive subsoil).
+  cad::DesignSearchOptions options;
+  options.site_x = 50.0;
+  options.site_y = 40.0;
+  options.rod.length = 3.0;
+
+  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.03, 1.2);
+
+  cad::DesignGoal goal;
+  goal.gpr = 1.5e3;
+  goal.max_resistance = 0.6;
+  goal.criteria.fault_duration = 0.5;
+  goal.criteria.soil_resistivity = 200.0;
+  goal.criteria.surface_resistivity = 2500.0;  // crushed-rock dressing
+
+  std::printf("Goal: Req <= %.2f Ohm, touch <= %.0f V, step <= %.0f V at GPR %.0f kV\n\n",
+              goal.max_resistance, post::tolerable_touch_voltage(goal.criteria),
+              post::tolerable_step_voltage(goal.criteria), goal.gpr / 1e3);
+
+  const cad::DesignSearchResult result = cad::search_design(soil, goal, options);
+
+  io::Table table({"candidate", "Req (Ohm)", "max touch (V)", "max step (V)", "verdict"});
+  for (const cad::DesignCandidate& candidate : result.history) {
+    table.add_row({candidate.label(), io::Table::num(candidate.resistance),
+                   io::Table::num(candidate.max_touch, 0), io::Table::num(candidate.max_step, 0),
+                   candidate.satisfied ? "PASS" : "fail"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (result.satisfied) {
+    std::printf("Chosen design: %s (%zu conductors)\n", result.chosen.label().c_str(),
+                result.conductors.size());
+  } else {
+    std::printf("No candidate met the goals; strengthen the ladder (deeper rods, denser\n"
+                "meshes) or revisit the GPR assumption.\n");
+  }
+  return 0;
+}

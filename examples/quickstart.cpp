@@ -1,0 +1,52 @@
+// Quickstart: design a small grounding grid, analyze it in uniform and
+// two-layer soil, and read off the engineering numbers.
+//
+//   $ ./quickstart
+//
+// Walkthrough of the core public API: grid builders -> LayeredSoil ->
+// GroundingSystem -> report -> surface potentials.
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+int main() {
+  using namespace ebem;
+
+  // 1. Describe the grid: a 40 x 30 m mesh with 10 m spacing, buried 0.8 m,
+  //    12 mm conductors, plus four corner rods.
+  geom::RectGridSpec spec;
+  spec.length_x = 40.0;
+  spec.length_y = 30.0;
+  spec.cells_x = 4;
+  spec.cells_y = 3;
+  spec.depth = 0.8;
+  spec.radius = 0.006;
+  std::vector<geom::Conductor> grid = geom::make_rect_grid(spec);
+
+  geom::RodSpec rod;  // 1.5 m x 14 mm rods
+  geom::add_rods(grid, {{0, 0, 0}, {40, 0, 0}, {0, 30, 0}, {40, 30, 0}}, spec.depth, rod);
+
+  // 2. Pick the soil models to compare.
+  const auto uniform = soil::LayeredSoil::uniform(0.02);             // 50 Ohm m
+  const auto layered = soil::LayeredSoil::two_layer(0.005, 0.02, 1.0);  // 200 / 50 Ohm m
+
+  // 3. Analyze at a 10 kV Ground Potential Rise.
+  cad::DesignOptions options;
+  options.analysis.gpr = 10e3;
+
+  for (const auto& [name, soil_model] :
+       {std::pair{"uniform", uniform}, std::pair{"two-layer", layered}}) {
+    cad::GroundingSystem system(grid, soil_model, options);
+    const cad::Report& report = system.analyze();
+    std::printf("=== %s soil ===\n", name);
+    std::printf("  Req  = %.4f Ohm\n", report.equivalent_resistance);
+    std::printf("  I    = %.2f kA\n", report.total_current / 1e3);
+    std::printf("  mesh = %zu elements, %zu DoF\n", report.element_count, report.dof_count);
+
+    // 4. Surface potential right above the grid center and one step outside.
+    const auto evaluator = system.potential_evaluator();
+    std::printf("  V(center)  = %.0f V\n", evaluator.at({20.0, 15.0, 0.0}));
+    std::printf("  V(outside) = %.0f V\n\n", evaluator.at({60.0, 15.0, 0.0}));
+  }
+  return 0;
+}

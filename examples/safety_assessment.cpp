@@ -1,0 +1,65 @@
+// Safety assessment workflow: check a design against IEEE Std 80 touch and
+// step limits, then strengthen it until it passes.
+//
+//   $ ./safety_assessment
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+namespace {
+
+ebem::post::SafetyAssessment assess(const std::vector<ebem::geom::Conductor>& grid,
+                                    const ebem::soil::LayeredSoil& soil, double gpr,
+                                    const ebem::post::SafetyCriteria& criteria) {
+  ebem::cad::DesignOptions options;
+  options.analysis.gpr = gpr;
+  ebem::cad::GroundingSystem system(grid, soil, options);
+  system.analyze();
+  const auto evaluator = system.potential_evaluator();
+  return ebem::post::assess_safety(evaluator, gpr, -5.0, 45.0, -5.0, 35.0, 11, 9, criteria);
+}
+
+void print(const char* label, const ebem::post::SafetyAssessment& a) {
+  std::printf("%s\n", label);
+  std::printf("  touch: %7.0f V (limit %5.0f V)  %s\n", a.max_touch_voltage, a.tolerable_touch,
+              a.touch_safe() ? "OK" : "UNSAFE");
+  std::printf("  step:  %7.0f V (limit %5.0f V)  %s\n", a.max_step_voltage, a.tolerable_step,
+              a.step_safe() ? "OK" : "UNSAFE");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebem;
+  const double gpr = 5e3;
+  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.02, 1.0);
+
+  post::SafetyCriteria criteria;
+  criteria.fault_duration = 0.5;
+  criteria.soil_resistivity = 200.0;       // native upper-layer rho
+  criteria.surface_resistivity = 2500.0;   // crushed-rock dressing
+  criteria.surface_layer_thickness = 0.1;
+
+  // Initial design: a sparse 40 x 30 m grid.
+  geom::RectGridSpec sparse;
+  sparse.length_x = 40.0;
+  sparse.length_y = 30.0;
+  sparse.cells_x = 2;
+  sparse.cells_y = 2;
+  print("Initial design (2x2 mesh):", assess(geom::make_rect_grid(sparse), soil, gpr, criteria));
+
+  // Strengthened design: denser mesh + perimeter rods reaching the
+  // conductive lower layer.
+  geom::RectGridSpec dense = sparse;
+  dense.cells_x = 6;
+  dense.cells_y = 5;
+  auto grid = geom::make_rect_grid(dense);
+  geom::RodSpec rod;
+  rod.length = 3.0;
+  geom::add_rods(grid, geom::perimeter_rod_positions(dense, 16), dense.depth, rod);
+  print("\nStrengthened design (6x5 mesh + 16 rods):", assess(grid, soil, gpr, criteria));
+
+  std::printf("\nMesh densification flattens the surface potential inside the grid and the\n"
+              "rods couple into the conductive lower layer, pulling touch voltages down.\n");
+  return 0;
+}

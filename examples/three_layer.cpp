@@ -1,0 +1,60 @@
+// Three-layer soil analysis — the extension beyond the paper's two-layer
+// evaluation (its §4.2 names the multi-layer case and warns about the cost).
+//
+// A small grid is analyzed over a three-layer profile (dry crust /
+// clay / bedrock-ish) via the spectral kernel; the same design is also run
+// with the two-layer truncations of the profile to show what the third
+// layer changes.
+//
+//   $ ./three_layer
+#include <cstdio>
+
+#include "src/ebem.hpp"
+
+namespace {
+
+double analyze(const std::vector<ebem::geom::Conductor>& grid,
+               const ebem::soil::LayeredSoil& soil) {
+  ebem::cad::DesignOptions options;
+  options.analysis.gpr = 10e3;
+  options.analysis.assembly.hankel.tolerance = 1e-6;
+  ebem::cad::GroundingSystem system(grid, soil, options);
+  return system.analyze().equivalent_resistance;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebem;
+
+  geom::RectGridSpec spec;
+  spec.length_x = 20.0;
+  spec.length_y = 20.0;
+  spec.cells_x = 2;
+  spec.cells_y = 2;
+  const auto grid = geom::make_rect_grid(spec);
+
+  // Profile: 1.5 m of resistive crust (400 Ohm m) over 3 m of conductive
+  // clay (25 Ohm m) over resistive basement (250 Ohm m).
+  const soil::LayeredSoil three({soil::Layer{1.0 / 400.0, 1.5}, soil::Layer{1.0 / 25.0, 3.0},
+                                 soil::Layer{1.0 / 250.0, 0.0}});
+  // Two-layer truncations an engineer might use instead.
+  const auto ignore_basement = soil::LayeredSoil::two_layer(1.0 / 400.0, 1.0 / 25.0, 1.5);
+  const auto ignore_clay = soil::LayeredSoil::two_layer(1.0 / 400.0, 1.0 / 250.0, 1.5);
+
+  std::printf("20 x 20 m grid at 0.8 m depth, GPR 10 kV\n\n");
+  io::Table table({"Soil model", "Req (Ohm)"});
+  ebem::WallTimer timer;
+  table.add_row({"3-layer (crust/clay/basement)", io::Table::num(analyze(grid, three))});
+  const double three_layer_seconds = timer.seconds();
+  table.add_row({"2-layer (ignores basement)", io::Table::num(analyze(grid, ignore_basement))});
+  table.add_row({"2-layer (ignores clay)", io::Table::num(analyze(grid, ignore_clay))});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("The conductive clay dominates: ignoring it (bottom row) badly\n"
+              "over-predicts Req; ignoring the basement is mild here. The 3-layer\n"
+              "run needed %.1f s — the cost regime the paper calls 'un-admissible'\n"
+              "for large grids without parallel hardware (§4.2).\n",
+              three_layer_seconds);
+  return 0;
+}

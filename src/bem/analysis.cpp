@@ -1,0 +1,47 @@
+#include "src/bem/analysis.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/timer.hpp"
+#include "src/la/blas1.hpp"
+
+namespace ebem::bem {
+
+AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
+                       PhaseReport* report) {
+  EBEM_EXPECT(options.gpr > 0.0, "GPR must be positive");
+  AnalysisResult result;
+
+  WallTimer wall;
+  CpuTimer cpu;
+  AssemblyResult system = assemble(model, options.assembly);
+  if (report != nullptr) {
+    report->add(Phase::kMatrixGeneration, wall.seconds(), cpu.seconds());
+  }
+
+  wall.reset();
+  cpu.reset();
+  // Normalized problem: R sigma_hat = nu with V_Gamma = 1.
+  std::vector<double> sigma_hat =
+      solve(system.matrix, system.rhs, options.solver, &result.solve_stats);
+  if (report != nullptr) {
+    report->add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
+  }
+
+  wall.reset();
+  cpu.reset();
+  // I_Gamma = integral of sigma over the electrodes = nu . sigma (eq. 2.2),
+  // evaluated at the normalized GPR and rescaled.
+  const double normalized_current = la::dot(system.rhs, sigma_hat);
+  EBEM_ENSURE(normalized_current > 0.0, "non-positive total leakage current");
+  result.equivalent_resistance = 1.0 / normalized_current;
+  result.total_current = options.gpr * normalized_current;
+  result.sigma = std::move(sigma_hat);
+  la::scal(options.gpr, result.sigma);
+  result.column_costs = std::move(system.column_costs);
+  if (report != nullptr) {
+    report->add(Phase::kResultsStorage, wall.seconds(), cpu.seconds());
+  }
+  return result;
+}
+
+}  // namespace ebem::bem

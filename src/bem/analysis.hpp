@@ -1,0 +1,38 @@
+// End-to-end grounding analysis: mesh -> Galerkin system -> leakage current
+// -> design parameters (paper eq. 2.2).
+//
+// Solves with the normalized GPR V_Gamma = 1 (the paper notes this is not
+// restrictive since everything is proportional to the GPR) and rescales the
+// reported currents/potentials by the actual GPR.
+#pragma once
+
+#include <vector>
+
+#include "src/bem/assembly.hpp"
+#include "src/bem/solver.hpp"
+#include "src/common/phase_report.hpp"
+
+namespace ebem::bem {
+
+struct AnalysisOptions {
+  AssemblyOptions assembly;
+  SolverOptions solver;
+  double gpr = 1.0;  ///< Ground Potential Rise V_Gamma [V]
+};
+
+struct AnalysisResult {
+  /// Nodal (linear basis) or per-element (constant basis) leakage current
+  /// densities sigma_i [A/m] at the actual GPR.
+  std::vector<double> sigma;
+  double total_current = 0.0;          ///< I_Gamma [A]
+  double equivalent_resistance = 0.0;  ///< R_eq = GPR / I_Gamma [Ohm]
+  SolveStats solve_stats;
+  std::vector<double> column_costs;    ///< forwarded from assembly, if measured
+};
+
+/// Run the analysis. `report`, when provided, accumulates per-phase timings
+/// for the Table 6.1 style breakdown (matrix generation vs solve vs rest).
+[[nodiscard]] AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
+                                     PhaseReport* report = nullptr);
+
+}  // namespace ebem::bem

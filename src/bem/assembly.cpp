@@ -1,0 +1,184 @@
+#include "src/bem/assembly.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/timer.hpp"
+#include "src/parallel/openmp_backend.hpp"
+#include "src/soil/kernel_factory.hpp"
+#include "src/parallel/parallel_for.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+namespace ebem::bem {
+
+namespace {
+
+/// Flat storage for the elemental matrices of the strict upper triangle of
+/// element pairs: column beta holds pairs (beta, beta..M-1).
+class PairStore {
+ public:
+  PairStore(std::size_t m, std::size_t local_dofs) : m_(m), local_(local_dofs) {
+    offsets_.resize(m + 1);
+    std::size_t total = 0;
+    for (std::size_t beta = 0; beta <= m; ++beta) {
+      offsets_[beta] = total;
+      if (beta < m) total += m - beta;
+    }
+    blocks_.resize(total);
+  }
+
+  [[nodiscard]] LocalMatrix& block(std::size_t beta, std::size_t alpha) {
+    return blocks_[offsets_[beta] + (alpha - beta)];
+  }
+  [[nodiscard]] const LocalMatrix& block(std::size_t beta, std::size_t alpha) const {
+    return blocks_[offsets_[beta] + (alpha - beta)];
+  }
+  [[nodiscard]] std::size_t local_dofs() const { return local_; }
+  [[nodiscard]] std::size_t columns() const { return m_; }
+
+ private:
+  std::size_t m_;
+  std::size_t local_;
+  std::vector<std::size_t> offsets_;
+  std::vector<LocalMatrix> blocks_;
+};
+
+/// Scatter one elemental block into the global symmetric matrix.
+///
+/// Only the element-pair triangle beta <= alpha is computed; the reversed
+/// ordered pair (alpha as test, beta as trial) is the transpose by kernel
+/// reciprocity. Packed symmetric storage holds the *value* F(j, i) of the
+/// full matrix, so:
+///  * self pairs (beta == alpha): the (symmetrized) block is scattered over
+///    its local upper triangle only — each unordered global pair once;
+///  * cross pairs: each (p, q) combination maps to a distinct unordered
+///    global pair, except when the elements share a node and j == i, where
+///    both the pair and its transpose hit the same diagonal entry — that
+///    contribution enters twice.
+void scatter(const BemModel& model, BasisKind basis, std::size_t beta, std::size_t alpha,
+             const LocalMatrix& local, la::SymMatrix& matrix) {
+  const std::size_t locals = model.local_dof_count(basis);
+  if (beta == alpha) {
+    for (std::size_t p = 0; p < locals; ++p) {
+      const std::size_t j = model.global_dof(basis, beta, p);
+      for (std::size_t q = p; q < locals; ++q) {
+        const std::size_t i = model.global_dof(basis, alpha, q);
+        // Symmetrize: the analytic-inner/Gauss-outer split introduces a tiny
+        // quadrature-level asymmetry the Galerkin form does not have.
+        matrix(j, i) += 0.5 * (local.value[p][q] + local.value[q][p]);
+      }
+    }
+    return;
+  }
+  for (std::size_t p = 0; p < locals; ++p) {
+    const std::size_t j = model.global_dof(basis, beta, p);
+    for (std::size_t q = 0; q < locals; ++q) {
+      const std::size_t i = model.global_dof(basis, alpha, q);
+      matrix(j, i) += (j == i) ? 2.0 * local.value[p][q] : local.value[p][q];
+    }
+  }
+}
+
+std::vector<double> build_rhs(const BemModel& model, BasisKind basis) {
+  std::vector<double> rhs(model.dof_count(basis), 0.0);
+  for (std::size_t e = 0; e < model.element_count(); ++e) {
+    const BemElement& element = model.elements()[e];
+    if (basis == BasisKind::kLinear) {
+      // integral of each hat over the element is L/2.
+      rhs[element.node_a] += 0.5 * element.length;
+      rhs[element.node_b] += 0.5 * element.length;
+    } else {
+      rhs[e] = element.length;
+    }
+  }
+  return rhs;
+}
+
+}  // namespace
+
+AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options) {
+  EBEM_EXPECT(options.num_threads >= 1, "need at least one thread");
+  const BasisKind basis = options.integrator.basis;
+  const std::size_t m = model.element_count();
+  const std::size_t n = model.dof_count(basis);
+
+  const std::unique_ptr<soil::PointKernel> kernel =
+      soil::make_kernel(model.soil(), options.series, options.hankel);
+  IntegratorOptions integrator_options = options.integrator;
+  if (model.soil().layer_count() > 2) {
+    // No closed-form images beyond two layers: generic quadrature of the
+    // spectral kernel (the paper's "un-admissible" cost regime, §4.2).
+    integrator_options.inner = InnerIntegration::kSubtracted;
+  }
+  const Integrator integrator(*kernel, integrator_options);
+  const auto& elements = model.elements();
+
+  AssemblyResult result;
+  result.matrix = la::SymMatrix(n);
+  result.rhs = build_rhs(model, basis);
+  result.element_pairs = m * (m + 1) / 2;
+
+  const bool sequential = options.num_threads == 1 && !options.measure_column_costs;
+  if (sequential) {
+    // Original sequential scheme: compute and assemble inside the loop.
+    for (std::size_t beta = 0; beta < m; ++beta) {
+      for (std::size_t alpha = beta; alpha < m; ++alpha) {
+        const LocalMatrix local = integrator.element_pair(elements[beta], elements[alpha]);
+        scatter(model, basis, beta, alpha, local, result.matrix);
+      }
+    }
+    return result;
+  }
+
+  // Two-phase scheme (paper §6.2): elemental matrices are computed into
+  // per-pair storage in parallel, then assembled sequentially.
+  PairStore store(m, model.local_dof_count(basis));
+  if (options.measure_column_costs) result.column_costs.assign(m, 0.0);
+
+  const auto run_loop = [&](std::size_t n, const std::function<void(std::size_t)>& body,
+                            par::ThreadPool& pool) {
+    if (options.backend == Backend::kOpenMp) {
+      par::openmp_parallel_for(options.num_threads, n, options.schedule, body);
+    } else {
+      par::parallel_for(pool, n, options.schedule, body);
+    }
+  };
+
+  par::ThreadPool pool(options.backend == Backend::kThreadPool ? options.num_threads : 1);
+  if (options.loop == ParallelLoop::kOuter) {
+    run_loop(
+        m,
+        [&](std::size_t beta) {
+          WallTimer timer;
+          for (std::size_t alpha = beta; alpha < m; ++alpha) {
+            store.block(beta, alpha) =
+                integrator.element_pair(elements[beta], elements[alpha]);
+          }
+          if (!result.column_costs.empty()) result.column_costs[beta] = timer.seconds();
+        },
+        pool);
+  } else {
+    for (std::size_t beta = 0; beta < m; ++beta) {
+      WallTimer timer;
+      const std::size_t rows = m - beta;
+      run_loop(
+          rows,
+          [&](std::size_t r) {
+            const std::size_t alpha = beta + r;
+            store.block(beta, alpha) =
+                integrator.element_pair(elements[beta], elements[alpha]);
+          },
+          pool);
+      if (!result.column_costs.empty()) result.column_costs[beta] = timer.seconds();
+    }
+  }
+
+  for (std::size_t beta = 0; beta < m; ++beta) {
+    for (std::size_t alpha = beta; alpha < m; ++alpha) {
+      scatter(model, basis, beta, alpha, store.block(beta, alpha), result.matrix);
+    }
+  }
+  return result;
+}
+
+}  // namespace ebem::bem

@@ -1,0 +1,64 @@
+// Global Galerkin system generation — the paper's dominant cost (Table 6.1)
+// and the stage it parallelizes (§6.2).
+//
+// The element-pair loop is the triangle beta = 0..M-1, alpha = beta..M-1
+// ("a triangle of M columns, of which the first one has M rows and the last
+// one has 1 row"). Three execution modes mirror the paper:
+//   * sequential: compute each elemental matrix and assemble it immediately;
+//   * parallel outer loop: columns are distributed across threads under an
+//     OpenMP-style schedule; elemental matrices are stored per column and
+//     assembled sequentially afterwards (the paper's two-phase scheme that
+//     removes the assembly data race at ~2x elemental-matrix memory);
+//   * parallel inner loop: columns run sequentially, the rows of each column
+//     are distributed (the lower-granularity alternative of Fig. 6.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/bem/integrator.hpp"
+#include "src/la/sym_matrix.hpp"
+#include "src/parallel/schedule.hpp"
+#include "src/soil/hankel_kernel.hpp"
+
+namespace ebem::bem {
+
+enum class ParallelLoop {
+  kOuter,  ///< distribute the M columns (coarse granularity; paper's pick)
+  kInner,  ///< distribute the rows within each column (fine granularity)
+};
+
+enum class Backend {
+  kThreadPool,  ///< portable std::thread pool with OpenMP-semantics schedules
+  kOpenMp,      ///< real OpenMP runtime directives (the paper's mode);
+                ///< sequential fallback when built without OpenMP
+};
+
+struct AssemblyOptions {
+  IntegratorOptions integrator;
+  soil::SeriesOptions series;
+  /// Spectral-kernel controls, used only for 3-and-more-layer soils (where
+  /// assembly automatically falls back to the Hankel kernel with inner
+  /// Gauss integration). The loose default reflects that quadrature error
+  /// dominates the spectral tolerance there.
+  soil::HankelOptions hankel{.tolerance = 1e-7};
+  std::size_t num_threads = 1;
+  par::Schedule schedule = par::Schedule::dynamic(1);
+  ParallelLoop loop = ParallelLoop::kOuter;
+  Backend backend = Backend::kThreadPool;
+  /// Record the wall-clock cost of each outer column (feeds the schedule
+  /// simulator used by the Fig. 6.1 / Table 6.2 / Table 6.3 benches).
+  bool measure_column_costs = false;
+};
+
+struct AssemblyResult {
+  la::SymMatrix matrix;         ///< R, dense symmetric positive definite
+  std::vector<double> rhs;      ///< nu_j = integral of w_j (paper eq. 4.6)
+  std::vector<double> column_costs;  ///< seconds per outer column, if measured
+  std::size_t element_pairs = 0;
+};
+
+/// Generate the Galerkin system for the model under the given options.
+[[nodiscard]] AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options);
+
+}  // namespace ebem::bem

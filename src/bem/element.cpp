@@ -1,0 +1,66 @@
+#include "src/bem/element.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebem::bem {
+
+std::vector<geom::Conductor> split_at_interfaces(const std::vector<geom::Conductor>& conductors,
+                                                 const soil::LayeredSoil& soil) {
+  std::vector<geom::Conductor> result;
+  result.reserve(conductors.size());
+  for (const geom::Conductor& c : conductors) {
+    // Collect split parameters where the conductor crosses an interface.
+    std::vector<double> cuts{0.0, 1.0};
+    const double dz = c.b.z - c.a.z;
+    if (std::abs(dz) > 1e-12) {
+      for (std::size_t i = 0; i + 1 < soil.layer_count(); ++i) {
+        const double z_interface = -soil.interface_depth(i);
+        const double t = (z_interface - c.a.z) / dz;
+        if (t > 1e-9 && t < 1.0 - 1e-9) cuts.push_back(t);
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+      const geom::Vec3 p0 = c.a + cuts[k] * (c.b - c.a);
+      const geom::Vec3 p1 = c.a + cuts[k + 1] * (c.b - c.a);
+      result.push_back({p0, p1, c.radius});
+    }
+  }
+  return result;
+}
+
+BemModel::BemModel(const geom::Mesh& mesh, const soil::LayeredSoil& soil)
+    : node_count_(mesh.node_count()), soil_(soil) {
+  EBEM_EXPECT(mesh.element_count() > 0, "model needs at least one element");
+  elements_.reserve(mesh.element_count());
+  for (const geom::MeshElement& e : mesh.elements()) {
+    EBEM_EXPECT(e.a.z < 0.0 && e.b.z < 0.0, "electrodes must be buried (z < 0)");
+    BemElement element;
+    element.a = e.a;
+    element.b = e.b;
+    element.radius = e.radius;
+    element.length = e.length();
+    element.node_a = e.node_a;
+    element.node_b = e.node_b;
+    element.layer = soil.layer_of(0.5 * (e.a.z + e.b.z));
+    // Elements must not straddle an interface (callers run
+    // split_at_interfaces on the conductors before meshing).
+    EBEM_EXPECT(soil.layer_of(e.a.z + 1e-9 * (e.b.z - e.a.z)) == element.layer &&
+                    soil.layer_of(e.b.z - 1e-9 * (e.b.z - e.a.z)) == element.layer,
+                "element crosses a soil interface; split conductors first");
+    elements_.push_back(element);
+  }
+}
+
+std::size_t BemModel::global_dof(BasisKind basis, std::size_t element, std::size_t local) const {
+  const BemElement& e = elements_[element];
+  if (basis == BasisKind::kLinear) {
+    return local == 0 ? e.node_a : e.node_b;
+  }
+  return element;
+}
+
+}  // namespace ebem::bem

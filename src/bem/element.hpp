@@ -1,0 +1,70 @@
+// Boundary elements and the BEM discretization model.
+//
+// The approximated 1D approach (paper §4.2): the thin-wire hypothesis
+// restricts trial/test functions to circumferential uniformity, so only the
+// conductor axes are discretized. The unknown is the leakage current per
+// unit axial length sigma(s) [A/m]; with trial functions N_i,
+// sigma = sum_i sigma_i N_i (paper eq. 4.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geom/conductor.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/soil/soil_model.hpp"
+
+namespace ebem::bem {
+
+/// Trial/test function family (paper §4.2 selects Galerkin; we also carry a
+/// constant basis as the simpler baseline).
+enum class BasisKind {
+  kConstant,  ///< one DoF per element, piecewise-constant leakage
+  kLinear,    ///< one DoF per node, hat functions spanning adjacent elements
+};
+
+/// A straight boundary element with its precomputed soil layer.
+struct BemElement {
+  geom::Vec3 a;
+  geom::Vec3 b;
+  double radius = 0.0;
+  double length = 0.0;
+  std::size_t node_a = 0;
+  std::size_t node_b = 0;
+  std::size_t layer = 0;  ///< soil layer containing the whole element
+};
+
+/// Split conductors at soil-layer interfaces so that every conductor (and
+/// therefore every element) lies entirely within one layer. Needed for
+/// grids whose rods cross the interface (Balaidós soil model C).
+[[nodiscard]] std::vector<geom::Conductor> split_at_interfaces(
+    const std::vector<geom::Conductor>& conductors, const soil::LayeredSoil& soil);
+
+/// The discretized BEM model: elements with layer tags plus DoF bookkeeping.
+class BemModel {
+ public:
+  BemModel(const geom::Mesh& mesh, const soil::LayeredSoil& soil);
+
+  [[nodiscard]] const std::vector<BemElement>& elements() const { return elements_; }
+  [[nodiscard]] std::size_t element_count() const { return elements_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] std::size_t dof_count(BasisKind basis) const {
+    return basis == BasisKind::kLinear ? node_count_ : elements_.size();
+  }
+  [[nodiscard]] const soil::LayeredSoil& soil() const { return soil_; }
+
+  /// Degrees of freedom carried by one element (its own DoF for constant
+  /// basis; its two endpoint nodes for linear basis).
+  [[nodiscard]] std::size_t local_dof_count(BasisKind basis) const {
+    return basis == BasisKind::kLinear ? 2 : 1;
+  }
+  [[nodiscard]] std::size_t global_dof(BasisKind basis, std::size_t element,
+                                       std::size_t local) const;
+
+ private:
+  std::vector<BemElement> elements_;
+  std::size_t node_count_ = 0;
+  soil::LayeredSoil soil_;
+};
+
+}  // namespace ebem::bem

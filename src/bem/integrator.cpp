@@ -1,0 +1,123 @@
+#include "src/bem/integrator.hpp"
+
+#include <cmath>
+
+#include "src/bem/segment_integrals.hpp"
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+#include "src/quad/gauss.hpp"
+
+namespace ebem::bem {
+
+Integrator::Integrator(const soil::PointKernel& kernel, const IntegratorOptions& options)
+    : kernel_(kernel),
+      image_kernel_(dynamic_cast<const soil::ImageKernel*>(&kernel)),
+      options_(options) {
+  EBEM_EXPECT(options.outer_gauss_points >= 1, "need at least one outer Gauss point");
+  EBEM_EXPECT(options.inner_gauss_points >= 1, "need at least one inner Gauss point");
+  EBEM_EXPECT(options.inner != InnerIntegration::kAnalytic || image_kernel_ != nullptr,
+              "analytic inner integration requires an image-series kernel (1-2 layer soil); "
+              "use InnerIntegration::kGauss for deeper stacks");
+}
+
+std::array<double, 2> Integrator::inner_integrals(geom::Vec3 field_point,
+                                                  const BemElement& source,
+                                                  std::size_t field_layer) const {
+  std::array<double, 2> result{0.0, 0.0};
+
+  if (options_.inner == InnerIntegration::kAnalytic) {
+    const auto& terms = image_kernel_->terms(source.layer, field_layer);
+    for (const soil::ImageTerm& term : terms) {
+      // Image of the straight source segment: same x/y, affine-mapped z.
+      const geom::Vec3 a{source.a.x, source.a.y, term.mirror * source.a.z + term.offset};
+      const geom::Vec3 b{source.b.x, source.b.y, term.mirror * source.b.z + term.offset};
+      const SegmentPotentials s = segment_potentials(field_point, a, b, source.radius);
+      if (options_.basis == BasisKind::kLinear) {
+        result[0] += term.weight * shape_start_integral(s, source.length);
+        result[1] += term.weight * shape_end_integral(s, source.length);
+      } else {
+        result[0] += term.weight * s.i0;
+      }
+    }
+    const double prefactor = image_kernel_->prefactor(source.layer);
+    result[0] *= prefactor;
+    result[1] *= prefactor;
+    return result;
+  }
+
+  // Generic paths: Gauss quadrature of the regularized point kernel
+  // (prefactor included by the kernel), optionally with the singular q/r
+  // part peeled off and integrated in closed form. The subtraction is
+  // error-neutral by construction (what is subtracted under the quadrature
+  // is added back exactly); choosing q as the kernel's local singular
+  // strength makes the quadratured remainder smooth.
+  double singular_strength = 0.0;
+  if (options_.inner == InnerIntegration::kSubtracted) {
+    const soil::LayeredSoil& soil = kernel_.soil_model();
+    singular_strength = 1.0 / (2.0 * kPi * (soil.conductivity(source.layer) +
+                                            soil.conductivity(field_layer)));
+  }
+
+  const quad::Rule& rule = quad::cached_gauss_legendre(options_.inner_gauss_points);
+  const double half = 0.5 * source.length;
+  for (std::size_t q = 0; q < rule.size(); ++q) {
+    const double t = 0.5 * (1.0 + rule.nodes[q]);  // in [0, 1]
+    const geom::Vec3 xi = source.a + t * (source.b - source.a);
+    double g = kernel_.evaluate_regularized(field_point, xi, source.radius);
+    if (singular_strength != 0.0) {
+      const double r_reg = std::sqrt(square(field_point.x - xi.x) + square(field_point.y - xi.y) +
+                                     square(field_point.z - xi.z) + square(source.radius));
+      g -= singular_strength / r_reg;
+    }
+    const double weight = rule.weights[q] * half * g;
+    if (options_.basis == BasisKind::kLinear) {
+      result[0] += weight * (1.0 - t);
+      result[1] += weight * t;
+    } else {
+      result[0] += weight;
+    }
+  }
+  if (singular_strength != 0.0) {
+    const SegmentPotentials s =
+        segment_potentials(field_point, source.a, source.b, source.radius);
+    if (options_.basis == BasisKind::kLinear) {
+      result[0] += singular_strength * shape_start_integral(s, source.length);
+      result[1] += singular_strength * shape_end_integral(s, source.length);
+    } else {
+      result[0] += singular_strength * s.i0;
+    }
+  }
+  return result;
+}
+
+LocalMatrix Integrator::element_pair(const BemElement& field, const BemElement& source) const {
+  const quad::Rule& rule = quad::cached_gauss_legendre(options_.outer_gauss_points);
+  const double half = 0.5 * field.length;
+
+  LocalMatrix local;
+  for (std::size_t q = 0; q < rule.size(); ++q) {
+    const double t = 0.5 * (1.0 + rule.nodes[q]);
+    const geom::Vec3 chi = field.a + t * (field.b - field.a);
+    const std::array<double, 2> inner = inner_integrals(chi, source, field.layer);
+    const double weight = rule.weights[q] * half;
+    if (options_.basis == BasisKind::kLinear) {
+      const double w0 = weight * (1.0 - t);
+      const double w1 = weight * t;
+      local.value[0][0] += w0 * inner[0];
+      local.value[0][1] += w0 * inner[1];
+      local.value[1][0] += w1 * inner[0];
+      local.value[1][1] += w1 * inner[1];
+    } else {
+      local.value[0][0] += weight * inner[0];
+    }
+  }
+  return local;
+}
+
+std::array<double, 2> Integrator::potential_influence(geom::Vec3 x,
+                                                      const BemElement& source) const {
+  const std::size_t field_layer = kernel_.soil_model().layer_of(std::min(x.z, 0.0));
+  return inner_integrals(x, source, field_layer);
+}
+
+}  // namespace ebem::bem

@@ -1,0 +1,77 @@
+// Elemental Galerkin coefficients R^{beta alpha} and potential influence
+// coefficients V_i(x) — paper eqs. (4.3) and (4.5).
+//
+// Two inner-integration paths:
+//  * analytic (default): closed-form segment integrals per image term — the
+//    paper's "highly efficient analytical integration techniques"; needs an
+//    image-series kernel, i.e. a 1- or 2-layer soil;
+//  * Gauss: generic quadrature of any PointKernel, which is what enables
+//    3-and-more-layer soils (at the much higher cost the paper warns about)
+//    and serves as the accuracy/cost ablation baseline.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "src/bem/element.hpp"
+#include "src/soil/image_series.hpp"
+#include "src/soil/point_kernel.hpp"
+
+namespace ebem::bem {
+
+enum class InnerIntegration {
+  kAnalytic,    ///< closed-form inner integral (image kernels only)
+  kGauss,       ///< plain inner Gauss quadrature (ablation baseline; poor on
+                ///< self/near elements where the kernel is near-singular)
+  kSubtracted,  ///< singularity subtraction: the local q/r part (with
+                ///< q = 1/(2 pi (gamma_b + gamma_c)), exact within a layer
+                ///< and across an interface) is integrated in closed form
+                ///< and only the smooth remainder is Gauss-quadratured —
+                ///< works with any kernel; the multi-layer production path
+};
+
+struct IntegratorOptions {
+  BasisKind basis = BasisKind::kLinear;
+  InnerIntegration inner = InnerIntegration::kAnalytic;
+  std::size_t outer_gauss_points = 8;
+  std::size_t inner_gauss_points = 8;  ///< used only by InnerIntegration::kGauss
+};
+
+/// Up-to-2x2 elemental matrix block (local test DoF x local trial DoF).
+struct LocalMatrix {
+  std::array<std::array<double, 2>, 2> value{};
+};
+
+/// Evaluates elemental coefficients against a fixed soil kernel.
+class Integrator {
+ public:
+  /// The analytic path requires `kernel` to be an ImageKernel; the Gauss
+  /// path accepts any PointKernel (throws otherwise at construction).
+  Integrator(const soil::PointKernel& kernel, const IntegratorOptions& options);
+
+  /// Galerkin block R^{beta alpha}: field (test) element beta against source
+  /// (trial) element alpha, all image terms summed (paper eq. 4.5).
+  [[nodiscard]] LocalMatrix element_pair(const BemElement& field,
+                                         const BemElement& source) const;
+
+  /// Potential influence at point x of source element alpha's local DoFs
+  /// (paper eq. 4.3): V(x) = sum_i sigma_i * coefficient_i.
+  [[nodiscard]] std::array<double, 2> potential_influence(geom::Vec3 x,
+                                                          const BemElement& source) const;
+
+  [[nodiscard]] const IntegratorOptions& options() const { return options_; }
+  [[nodiscard]] const soil::PointKernel& kernel() const { return kernel_; }
+
+ private:
+  /// Inner integrals of each local shape function against the kernel for
+  /// the given field point, prefactor included.
+  [[nodiscard]] std::array<double, 2> inner_integrals(geom::Vec3 field_point,
+                                                      const BemElement& source,
+                                                      std::size_t field_layer) const;
+
+  const soil::PointKernel& kernel_;
+  const soil::ImageKernel* image_kernel_;  ///< non-null when kernel_ is image-based
+  IntegratorOptions options_;
+};
+
+}  // namespace ebem::bem

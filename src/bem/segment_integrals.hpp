@@ -1,0 +1,43 @@
+// Closed-form single-layer potential integrals over straight segments.
+//
+// These are the "highly efficient analytical integration techniques" of the
+// paper (§4.2, ref [4]): for a field point P and a straight source segment,
+// the inner integrals
+//   I0 = Integral_0^L            dt / r(P, xi(t))
+//   I1 = Integral_0^L        t * dt / r(P, xi(t))
+// have closed forms once the kernel is regularized with the thin-wire
+// radius, r = sqrt(|P - xi|^2 + a^2). Linear shape functions are linear
+// combinations of I0 and I1, so every elemental coefficient of eq. (4.5)
+// reduces to an outer quadrature over these closed forms — term by image
+// term, because the image of a straight segment is a straight segment.
+#pragma once
+
+#include "src/geom/vec3.hpp"
+
+namespace ebem::bem {
+
+/// Result of the analytic inner integration against a source segment.
+struct SegmentPotentials {
+  double i0 = 0.0;  ///< integral of 1/r
+  double i1 = 0.0;  ///< integral of t/r (t = arc length from segment start)
+};
+
+/// Analytic I0, I1 for field point `p` against the segment `a`->`b` with
+/// thin-wire regularization radius `radius` (> 0 for self/near interactions;
+/// 0 is allowed when p is off the segment axis).
+[[nodiscard]] SegmentPotentials segment_potentials(geom::Vec3 p, geom::Vec3 a, geom::Vec3 b,
+                                                   double radius);
+
+/// Integral of the linear shape function attached to the start node
+/// (N(t) = 1 - t/L) divided by r: I0 - I1 / L.
+[[nodiscard]] inline double shape_start_integral(const SegmentPotentials& s, double length) {
+  return s.i0 - s.i1 / length;
+}
+
+/// Integral of the linear shape function attached to the end node
+/// (N(t) = t/L) divided by r: I1 / L.
+[[nodiscard]] inline double shape_end_integral(const SegmentPotentials& s, double length) {
+  return s.i1 / length;
+}
+
+}  // namespace ebem::bem

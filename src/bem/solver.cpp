@@ -1,0 +1,40 @@
+#include "src/bem/solver.hpp"
+
+#include "src/common/error.hpp"
+#include "src/la/blas1.hpp"
+#include "src/la/cg.hpp"
+#include "src/la/cholesky.hpp"
+
+namespace ebem::bem {
+
+std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> rhs,
+                          const SolverOptions& options, SolveStats* stats) {
+  if (options.kind == SolverKind::kCholesky) {
+    const la::Cholesky factor(matrix);
+    std::vector<double> x = factor.solve(rhs);
+    if (stats != nullptr) {
+      // Report the achieved residual for parity with the iterative path.
+      std::vector<double> r(rhs.begin(), rhs.end());
+      std::vector<double> ax(rhs.size());
+      matrix.multiply(x, ax);
+      la::axpy(-1.0, ax, r);
+      stats->iterations = 0;
+      const double b_norm = la::nrm2(rhs);
+      stats->relative_residual = b_norm > 0.0 ? la::nrm2(r) / b_norm : 0.0;
+    }
+    return x;
+  }
+
+  la::CgOptions cg_options;
+  cg_options.tolerance = options.cg_tolerance;
+  cg_options.max_iterations = options.cg_max_iterations;
+  la::CgResult result = la::conjugate_gradient(matrix, rhs, cg_options);
+  EBEM_EXPECT(result.converged, "PCG failed to converge");
+  if (stats != nullptr) {
+    stats->iterations = result.iterations;
+    stats->relative_residual = result.relative_residual;
+  }
+  return std::move(result.x);
+}
+
+}  // namespace ebem::bem

@@ -1,0 +1,33 @@
+// Linear-system solution stage (paper §4.3): direct Cholesky O(N^3/3) or
+// the paper's preferred diagonally preconditioned conjugate gradient.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/la/sym_matrix.hpp"
+
+namespace ebem::bem {
+
+enum class SolverKind {
+  kCholesky,  ///< direct LL^T (reference; out of range for very large N)
+  kPcg,       ///< Jacobi-preconditioned CG (paper's recommendation)
+};
+
+struct SolverOptions {
+  SolverKind kind = SolverKind::kCholesky;
+  double cg_tolerance = 1e-12;
+  std::size_t cg_max_iterations = 0;  ///< 0 = automatic
+};
+
+struct SolveStats {
+  std::size_t iterations = 0;  ///< 0 for the direct solver
+  double relative_residual = 0.0;
+};
+
+/// Solve R sigma = nu. Throws if PCG fails to converge.
+[[nodiscard]] std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> rhs,
+                                        const SolverOptions& options, SolveStats* stats = nullptr);
+
+}  // namespace ebem::bem

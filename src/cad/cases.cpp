@@ -1,0 +1,74 @@
+#include "src/cad/cases.hpp"
+
+#include <cmath>
+
+#include "src/geom/grid_builder.hpp"
+
+namespace ebem::cad {
+
+BarberaCase barbera_case(std::size_t refinement) {
+  // Figure 5.1: the right angle sits at the origin, the long leg (~143 m)
+  // along y and the short leg (~89 m) along x.
+  geom::TriangularGridSpec spec;
+  spec.leg_x = 89.0;
+  spec.leg_y = 143.0;
+  spec.cells_x = refinement;
+  spec.cells_y = static_cast<std::size_t>(
+      std::lround(static_cast<double>(refinement) * spec.leg_y / spec.leg_x));
+  spec.depth = 0.80;
+  spec.radius = 12.85e-3 / 2.0;
+
+  BarberaCase result{
+      .conductors = geom::make_triangular_grid(spec),
+      .uniform_soil = soil::LayeredSoil::uniform(0.016),
+      .two_layer_soil = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0),
+      .gpr = 10e3,
+  };
+  return result;
+}
+
+BalaidosCase balaidos_case() {
+  // Figure 5.3: an 80 x 60 m mesh with ~10 m spacing (110 conductors, the
+  // closest regular layout to the paper's 107).
+  geom::RectGridSpec spec;
+  spec.length_x = 80.0;
+  spec.length_y = 60.0;
+  spec.cells_x = 8;
+  spec.cells_y = 6;
+  spec.depth = 0.80;
+  spec.radius = 11.28e-3 / 2.0;
+
+  std::vector<geom::Conductor> grid = geom::make_rect_grid(spec);
+
+  // 67 rods: one at each of the 63 grid intersections plus 4 at perimeter
+  // mid-side points (rods are 1.5 m long, 14.0 mm diameter).
+  std::vector<geom::Vec3> rod_positions;
+  rod_positions.reserve(67);
+  const double dx = spec.length_x / static_cast<double>(spec.cells_x);
+  const double dy = spec.length_y / static_cast<double>(spec.cells_y);
+  for (std::size_t i = 0; i <= spec.cells_x; ++i) {
+    for (std::size_t j = 0; j <= spec.cells_y; ++j) {
+      rod_positions.push_back({dx * static_cast<double>(i), dy * static_cast<double>(j), 0.0});
+    }
+  }
+  rod_positions.push_back({spec.length_x / 2.0 - dx / 2.0, 0.0, 0.0});
+  rod_positions.push_back({spec.length_x / 2.0 - dx / 2.0, spec.length_y, 0.0});
+  rod_positions.push_back({0.0, spec.length_y / 2.0 - dy / 2.0, 0.0});
+  rod_positions.push_back({spec.length_x, spec.length_y / 2.0 - dy / 2.0, 0.0});
+
+  geom::RodSpec rod;
+  rod.length = 1.5;
+  rod.radius = 14.0e-3 / 2.0;
+  geom::add_rods(grid, rod_positions, spec.depth, rod);
+
+  BalaidosCase result{
+      .conductors = std::move(grid),
+      .soil_a = soil::LayeredSoil::uniform(0.020),
+      .soil_b = soil::LayeredSoil::two_layer(0.0025, 0.020, 0.70),
+      .soil_c = soil::LayeredSoil::two_layer(0.0025, 0.020, 1.00),
+      .gpr = 10e3,
+  };
+  return result;
+}
+
+}  // namespace ebem::cad

@@ -1,0 +1,54 @@
+// The paper's two evaluation cases, rebuilt from the published parameters.
+//
+// Barberá (paper §5.1): a right-triangle-shaped grid, 143 x 89 m, 408
+// cylindrical conductor segments of diameter 12.85 mm buried at 0.80 m,
+// protecting ~6,600 m^2; GPR 10 kV. Soils: uniform gamma = 0.016 (Ohm m)^-1,
+// and two-layer gamma_1 = 0.005 / gamma_2 = 0.016 (Ohm m)^-1 with a 1.0 m
+// upper layer.
+//
+// Balaidós (paper §5.2): 107 conductors of diameter 11.28 mm at 0.80 m plus
+// 67 vertical rods (1.5 m long, 14.0 mm diameter); GPR 10 kV; 241 elements.
+// Soil models: A uniform 0.020; B two-layer 0.0025 / 0.020 with 0.70 m upper
+// layer (all electrodes in the lower layer); C the same but with a 1.0 m
+// upper layer (grid in the upper layer, rod tips in the lower).
+//
+// The exact CAD plans are not published; geometry is generated from these
+// parameters (see DESIGN.md §4.2 for why this preserves the evaluation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geom/conductor.hpp"
+#include "src/soil/soil_model.hpp"
+
+namespace ebem::cad {
+
+// ---------------------------------------------------------------------------
+// Barberá
+
+struct BarberaCase {
+  std::vector<geom::Conductor> conductors;
+  soil::LayeredSoil uniform_soil;
+  soil::LayeredSoil two_layer_soil;
+  double gpr = 10e3;
+};
+
+/// Build the Barberá grid. `refinement` scales the mesh density; the default
+/// reproduces the paper's ~408 segments.
+[[nodiscard]] BarberaCase barbera_case(std::size_t refinement = 15);
+
+// ---------------------------------------------------------------------------
+// Balaidós
+
+struct BalaidosCase {
+  std::vector<geom::Conductor> conductors;  ///< grid bars + 67 rods
+  soil::LayeredSoil soil_a;                 ///< uniform 0.020
+  soil::LayeredSoil soil_b;                 ///< two-layer, 0.70 m upper layer
+  soil::LayeredSoil soil_c;                 ///< two-layer, 1.00 m upper layer
+  double gpr = 10e3;
+};
+
+[[nodiscard]] BalaidosCase balaidos_case();
+
+}  // namespace ebem::cad

@@ -1,0 +1,89 @@
+#include "src/cad/design_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/geom/grid_builder.hpp"
+
+namespace ebem::cad {
+
+std::string DesignCandidate::label() const {
+  return std::to_string(cells_x) + "x" + std::to_string(cells_y) + " mesh + " +
+         std::to_string(rods) + " rods";
+}
+
+DesignSearchResult search_design(const soil::LayeredSoil& soil, const DesignGoal& goal,
+                                 const DesignSearchOptions& options) {
+  EBEM_EXPECT(options.site_x > 0.0 && options.site_y > 0.0, "site extents must be positive");
+  EBEM_EXPECT(goal.gpr > 0.0, "GPR must be positive");
+  EBEM_EXPECT(options.max_steps >= 1, "need at least one ladder step");
+
+  const double aspect = options.site_y / options.site_x;
+  DesignSearchResult result;
+
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    // Ladder: mesh density grows with every step; from the third step on,
+    // perimeter rods are added in growing counts. Rods come later because
+    // meshing is usually the cheaper Req lever in uniform soil, while rods
+    // pay off once a conductive lower layer is reachable.
+    const std::size_t cells_x = 2 + step;
+    const std::size_t cells_y =
+        std::max<std::size_t>(2, static_cast<std::size_t>(std::lround(
+                                     static_cast<double>(cells_x) * aspect)));
+    const std::size_t rods = step < 2 ? 0 : 4 * (step - 1);
+
+    geom::RectGridSpec spec;
+    spec.length_x = options.site_x;
+    spec.length_y = options.site_y;
+    spec.cells_x = cells_x;
+    spec.cells_y = cells_y;
+    spec.depth = options.depth;
+    spec.radius = options.conductor_radius;
+    std::vector<geom::Conductor> conductors = geom::make_rect_grid(spec);
+    if (rods > 0) {
+      geom::add_rods(conductors, geom::perimeter_rod_positions(spec, rods), options.depth,
+                     options.rod);
+    }
+
+    DesignOptions design_options;
+    design_options.analysis.gpr = goal.gpr;
+    design_options.analysis.assembly.series.tolerance = 1e-6;
+    GroundingSystem system(conductors, soil, design_options);
+    const Report& report = system.analyze();
+
+    DesignCandidate candidate;
+    candidate.cells_x = cells_x;
+    candidate.cells_y = cells_y;
+    candidate.rods = rods;
+    candidate.resistance = report.equivalent_resistance;
+
+    const auto evaluator = system.potential_evaluator();
+    // Touch exposure exists only where grounded structures stand — inside
+    // the site footprint; step exposure extends to the surroundings, so the
+    // step patch carries the margin.
+    const post::SafetyAssessment touch_assessment =
+        post::assess_safety(evaluator, goal.gpr, 0.0, options.site_x, 0.0, options.site_y,
+                            options.samples_x, options.samples_y, goal.criteria);
+    const post::SafetyAssessment step_assessment = post::assess_safety(
+        evaluator, goal.gpr, -options.safety_margin, options.site_x + options.safety_margin,
+        -options.safety_margin, options.site_y + options.safety_margin, options.samples_x,
+        options.samples_y, goal.criteria);
+    candidate.max_touch = touch_assessment.max_touch_voltage;
+    candidate.max_step = step_assessment.max_step_voltage;
+
+    candidate.satisfied = candidate.resistance <= goal.max_resistance &&
+                          (!goal.require_touch_safe || touch_assessment.touch_safe()) &&
+                          (!goal.require_step_safe || step_assessment.step_safe());
+    result.history.push_back(candidate);
+    result.chosen = candidate;
+    result.conductors = std::move(conductors);
+    if (candidate.satisfied) {
+      result.satisfied = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ebem::cad

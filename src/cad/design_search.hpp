@@ -1,0 +1,67 @@
+// Automated grounding-design search: the CAD loop around the solver.
+//
+// Given a site footprint, a soil model and the design goals (maximum
+// equivalent resistance, IEEE Std 80 touch/step compliance), walk a ladder
+// of progressively stronger candidate designs — denser meshes, then
+// perimeter rods — and return the first one that satisfies every goal. This
+// is the "design" half of the paper's Computer Aided Design framing: the
+// solver makes each candidate cheap enough to evaluate inside a loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/cad/grounding_system.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/post/safety.hpp"
+#include "src/soil/soil_model.hpp"
+
+namespace ebem::cad {
+
+struct DesignGoal {
+  double gpr = 10e3;              ///< fault GPR to design for [V]
+  double max_resistance = 1e300;  ///< required Req upper bound [Ohm]
+  bool require_touch_safe = true;
+  bool require_step_safe = true;
+  post::SafetyCriteria criteria;
+};
+
+struct DesignSearchOptions {
+  double site_x = 0.0;          ///< footprint extent [m]
+  double site_y = 0.0;
+  double depth = 0.8;
+  double conductor_radius = 6.0e-3;
+  geom::RodSpec rod;            ///< rod type used when the ladder adds rods
+  std::size_t max_steps = 8;    ///< ladder length
+  double safety_margin = 5.0;   ///< assessment patch margin around the site [m]
+  std::size_t samples_x = 9;    ///< assessment sampling
+  std::size_t samples_y = 9;
+};
+
+struct DesignCandidate {
+  std::size_t cells_x = 0;
+  std::size_t cells_y = 0;
+  std::size_t rods = 0;
+  double resistance = 0.0;
+  double max_touch = 0.0;
+  double max_step = 0.0;
+  bool satisfied = false;
+
+  [[nodiscard]] std::string label() const;
+};
+
+struct DesignSearchResult {
+  bool satisfied = false;
+  DesignCandidate chosen;                 ///< last evaluated (best) candidate
+  std::vector<DesignCandidate> history;   ///< every candidate in order
+  std::vector<geom::Conductor> conductors;  ///< geometry of the chosen design
+};
+
+/// Run the ladder search. Throws on invalid inputs; never throws for
+/// "no design satisfied the goals" (check `satisfied`).
+[[nodiscard]] DesignSearchResult search_design(const soil::LayeredSoil& soil,
+                                               const DesignGoal& goal,
+                                               const DesignSearchOptions& options);
+
+}  // namespace ebem::cad

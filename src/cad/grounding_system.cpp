@@ -1,0 +1,90 @@
+#include "src/cad/grounding_system.hpp"
+
+#include <sstream>
+
+#include "src/bem/element.hpp"
+#include "src/common/error.hpp"
+#include "src/common/timer.hpp"
+
+namespace ebem::cad {
+
+std::string Report::summary() const {
+  std::ostringstream os;
+  os << "GPR                    " << gpr << " V\n"
+     << "Equivalent resistance  " << equivalent_resistance << " Ohm\n"
+     << "Total ground current   " << total_current / 1000.0 << " kA\n"
+     << "Elements / DoF         " << element_count << " / " << dof_count << "\n"
+     << phases.to_string();
+  return os.str();
+}
+
+bem::BemModel GroundingSystem::preprocess(std::vector<geom::Conductor> conductors,
+                                          const soil::LayeredSoil& soil,
+                                          const DesignOptions& options, PhaseReport& phases) {
+  WallTimer wall;
+  CpuTimer cpu;
+  const std::vector<geom::Conductor> split = bem::split_at_interfaces(conductors, soil);
+  const geom::Mesh mesh = geom::Mesh::build(split, options.mesh);
+  bem::BemModel model(mesh, soil);
+  phases.add(Phase::kPreprocessing, wall.seconds(), cpu.seconds());
+  return model;
+}
+
+GroundingSystem::GroundingSystem(std::vector<geom::Conductor> conductors, soil::LayeredSoil soil,
+                                 const DesignOptions& options)
+    : GroundingSystem(std::move(conductors), std::move(soil), options, PhaseReport{}) {}
+
+GroundingSystem::GroundingSystem(std::vector<geom::Conductor> conductors, soil::LayeredSoil soil,
+                                 const DesignOptions& options, PhaseReport input_phases)
+    : options_(options),
+      setup_phases_(input_phases),
+      model_(preprocess(std::move(conductors), soil, options, setup_phases_)) {}
+
+GroundingSystem GroundingSystem::from_file(const std::string& path,
+                                           const DesignOptions& options) {
+  WallTimer wall;
+  CpuTimer cpu;
+  io::GridDescription description = io::read_grid_file(path);
+  PhaseReport phases;
+  phases.add(Phase::kDataInput, wall.seconds(), cpu.seconds());
+  return GroundingSystem(std::move(description.conductors), description.soil(), options,
+                         phases);
+}
+
+const Report& GroundingSystem::analyze() {
+  PhaseReport phases = setup_phases_;
+  solution_ = bem::analyze(model_, options_.analysis, &phases);
+
+  Report report;
+  report.gpr = options_.analysis.gpr;
+  report.equivalent_resistance = solution_->equivalent_resistance;
+  report.total_current = solution_->total_current;
+  report.element_count = model_.element_count();
+  report.dof_count = model_.dof_count(options_.analysis.assembly.integrator.basis);
+  report.phases = phases;
+  report.column_costs = solution_->column_costs;
+  report_ = std::move(report);
+  return *report_;
+}
+
+post::PotentialEvaluator GroundingSystem::potential_evaluator(
+    const post::PotentialOptions& options) const {
+  EBEM_EXPECT(solution_.has_value(), "call analyze() before requesting post-processing");
+  post::PotentialOptions merged = options;
+  merged.integrator.basis = options_.analysis.assembly.integrator.basis;
+  // Normalized solution: sigma at GPR / gpr gives the unit-GPR distribution;
+  // the evaluator works with the actual-GPR sigma directly.
+  return post::PotentialEvaluator(model_, solution_->sigma, merged);
+}
+
+const Report& GroundingSystem::report() const {
+  EBEM_EXPECT(report_.has_value(), "call analyze() first");
+  return *report_;
+}
+
+const bem::AnalysisResult& GroundingSystem::solution() const {
+  EBEM_EXPECT(solution_.has_value(), "call analyze() first");
+  return *solution_;
+}
+
+}  // namespace ebem::cad

@@ -1,0 +1,78 @@
+// High-level CAD entry point, mirroring the paper's TOTBEM-style system:
+// a grounding design (conductors) + a soil model + analysis options in,
+// a full engineering report out, with the per-phase timings of Table 6.1.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bem/analysis.hpp"
+#include "src/common/phase_report.hpp"
+#include "src/geom/conductor.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/io/grid_file.hpp"
+#include "src/post/surface_potential.hpp"
+#include "src/soil/soil_model.hpp"
+
+namespace ebem::cad {
+
+struct DesignOptions {
+  geom::MeshOptions mesh;
+  bem::AnalysisOptions analysis;
+};
+
+/// Everything a design review needs from one run.
+struct Report {
+  double gpr = 0.0;
+  double equivalent_resistance = 0.0;  ///< [Ohm]
+  double total_current = 0.0;          ///< [A]
+  std::size_t element_count = 0;
+  std::size_t dof_count = 0;
+  PhaseReport phases;
+  std::vector<double> column_costs;    ///< per-column matrix-generation cost, if measured
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// A grounding system under analysis. Owns the split/meshed model so that
+/// post-processing (surface potentials, safety) can reuse the solution.
+class GroundingSystem {
+ public:
+  /// Build from raw conductors; conductors are split at soil interfaces and
+  /// meshed during construction (the "Data Preprocessing" phase).
+  GroundingSystem(std::vector<geom::Conductor> conductors, soil::LayeredSoil soil,
+                  const DesignOptions& options = {});
+
+  /// Load design + soil from a grid description file ("Data Input" phase).
+  [[nodiscard]] static GroundingSystem from_file(const std::string& path,
+                                                 const DesignOptions& options = {});
+
+  /// Run (or re-run) the analysis.
+  const Report& analyze();
+
+  /// Post-processing evaluator over the last analyze() solution.
+  [[nodiscard]] post::PotentialEvaluator potential_evaluator(
+      const post::PotentialOptions& options = {}) const;
+
+  [[nodiscard]] const bem::BemModel& model() const { return model_; }
+  [[nodiscard]] const Report& report() const;
+  [[nodiscard]] const bem::AnalysisResult& solution() const;
+  [[nodiscard]] const DesignOptions& options() const { return options_; }
+
+ private:
+  GroundingSystem(std::vector<geom::Conductor> conductors, soil::LayeredSoil soil,
+                  const DesignOptions& options, PhaseReport input_phases);
+
+  static bem::BemModel preprocess(std::vector<geom::Conductor> conductors,
+                                  const soil::LayeredSoil& soil, const DesignOptions& options,
+                                  PhaseReport& phases);
+
+  DesignOptions options_;
+  PhaseReport setup_phases_;
+  bem::BemModel model_;
+  std::optional<bem::AnalysisResult> solution_;
+  std::optional<Report> report_;
+};
+
+}  // namespace ebem::cad

@@ -1,0 +1,27 @@
+#include "src/common/error.hpp"
+
+#include <sstream>
+
+namespace ebem::detail {
+
+namespace {
+std::string format(const char* kind, const char* condition, const char* file, int line,
+                   const std::string& message) {
+  std::ostringstream os;
+  os << kind << ": " << message << " [failed: " << condition << " at " << file << ":" << line
+     << "]";
+  return os.str();
+}
+}  // namespace
+
+void throw_invalid_argument(const char* condition, const char* file, int line,
+                            const std::string& message) {
+  throw InvalidArgument(format("invalid argument", condition, file, line, message));
+}
+
+void throw_internal_error(const char* condition, const char* file, int line,
+                          const std::string& message) {
+  throw InternalError(format("internal error", condition, file, line, message));
+}
+
+}  // namespace ebem::detail

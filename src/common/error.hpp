@@ -1,0 +1,47 @@
+// Contract-checking helpers used across the library.
+//
+// Public API entry points validate their inputs with EBEM_EXPECT (throws
+// std::invalid_argument) so a misconfigured analysis fails loudly at setup
+// time; internal invariants use EBEM_ENSURE (throws std::logic_error).
+// Hot inner loops rely on assert() only.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ebem {
+
+/// Thrown when a caller hands the library an invalid argument.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* condition, const char* file, int line,
+                                         const std::string& message);
+[[noreturn]] void throw_internal_error(const char* condition, const char* file, int line,
+                                       const std::string& message);
+}  // namespace detail
+
+}  // namespace ebem
+
+/// Validate a user-supplied precondition; throws ebem::InvalidArgument.
+#define EBEM_EXPECT(cond, msg)                                                     \
+  do {                                                                             \
+    if (!(cond)) ::ebem::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, \
+                                                        (msg));                    \
+  } while (0)
+
+/// Validate an internal invariant; throws ebem::InternalError.
+#define EBEM_ENSURE(cond, msg)                                                   \
+  do {                                                                           \
+    if (!(cond)) ::ebem::detail::throw_internal_error(#cond, __FILE__, __LINE__, \
+                                                      (msg));                    \
+  } while (0)

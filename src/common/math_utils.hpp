@@ -1,0 +1,20 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace ebem {
+
+inline constexpr double kPi = std::numbers::pi;
+
+/// Relative-plus-absolute closeness test for floating-point comparisons.
+[[nodiscard]] inline bool almost_equal(double a, double b, double rel_tol = 1e-12,
+                                       double abs_tol = 1e-14) {
+  return std::abs(a - b) <= abs_tol + rel_tol * std::max(std::abs(a), std::abs(b));
+}
+
+/// x*x, spelled for readability in distance formulas.
+[[nodiscard]] inline constexpr double square(double x) { return x * x; }
+
+}  // namespace ebem

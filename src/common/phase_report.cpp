@@ -1,0 +1,70 @@
+#include "src/common/phase_report.hpp"
+
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ebem {
+
+namespace {
+constexpr std::size_t index_of(Phase phase) { return static_cast<std::size_t>(phase); }
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kDataInput:
+      return "Data Input";
+    case Phase::kPreprocessing:
+      return "Data Preprocessing";
+    case Phase::kMatrixGeneration:
+      return "Matrix Generation";
+    case Phase::kLinearSolve:
+      return "Linear System Solving";
+    case Phase::kResultsStorage:
+      return "Results Storage";
+    case Phase::kCount:
+      break;
+  }
+  return "Unknown";
+}
+
+void PhaseReport::add(Phase phase, double wall_seconds, double cpu_seconds) {
+  EBEM_EXPECT(phase != Phase::kCount, "phase out of range");
+  wall_[index_of(phase)] += wall_seconds;
+  cpu_[index_of(phase)] += cpu_seconds;
+}
+
+double PhaseReport::wall_seconds(Phase phase) const { return wall_[index_of(phase)]; }
+
+double PhaseReport::cpu_seconds(Phase phase) const { return cpu_[index_of(phase)]; }
+
+double PhaseReport::total_wall_seconds() const {
+  return std::accumulate(wall_.begin(), wall_.end(), 0.0);
+}
+
+double PhaseReport::total_cpu_seconds() const {
+  return std::accumulate(cpu_.begin(), cpu_.end(), 0.0);
+}
+
+double PhaseReport::cpu_fraction(Phase phase) const {
+  const double total = total_cpu_seconds();
+  return total > 0.0 ? cpu_seconds(phase) / total : 0.0;
+}
+
+std::string PhaseReport::to_string() const {
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "Process" << std::right << std::setw(14) << "CPU time(s)"
+     << std::setw(14) << "Wall time(s)" << '\n';
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    os << std::left << std::setw(24) << phase_name(static_cast<Phase>(i)) << std::right
+       << std::fixed << std::setprecision(3) << std::setw(14) << cpu_[i] << std::setw(14)
+       << wall_[i] << '\n';
+  }
+  os << std::left << std::setw(24) << "Total" << std::right << std::fixed << std::setprecision(3)
+     << std::setw(14) << total_cpu_seconds() << std::setw(14) << total_wall_seconds() << '\n';
+  return os.str();
+}
+
+}  // namespace ebem

@@ -1,0 +1,50 @@
+// Per-phase timing record for an analysis run.
+//
+// The paper's Table 6.1 splits a run into Data Input, Data Preprocessing,
+// Matrix Generation, Linear System Solving and Results Storage; this type is
+// the structured equivalent that the CAD facade fills in and the Table 6.1
+// bench prints.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace ebem {
+
+/// The analysis phases the paper times individually (Table 6.1).
+enum class Phase : std::size_t {
+  kDataInput = 0,
+  kPreprocessing,
+  kMatrixGeneration,
+  kLinearSolve,
+  kResultsStorage,
+  kCount,
+};
+
+/// Human-readable phase name as printed in the paper's Table 6.1.
+[[nodiscard]] const char* phase_name(Phase phase);
+
+/// Accumulated wall/CPU seconds per phase for one analysis run.
+class PhaseReport {
+ public:
+  void add(Phase phase, double wall_seconds, double cpu_seconds);
+
+  [[nodiscard]] double wall_seconds(Phase phase) const;
+  [[nodiscard]] double cpu_seconds(Phase phase) const;
+  [[nodiscard]] double total_wall_seconds() const;
+  [[nodiscard]] double total_cpu_seconds() const;
+
+  /// Fraction of total CPU time spent in `phase` (0 when nothing recorded).
+  [[nodiscard]] double cpu_fraction(Phase phase) const;
+
+  /// Multi-line table in the style of the paper's Table 6.1.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+  std::array<double, kNumPhases> wall_{};
+  std::array<double, kNumPhases> cpu_{};
+};
+
+}  // namespace ebem

@@ -1,0 +1,19 @@
+#include "src/common/timer.hpp"
+
+#include <ctime>
+
+namespace ebem {
+
+CpuTimer::CpuTimer() : start_(now()) {}
+
+void CpuTimer::reset() { start_ = now(); }
+
+double CpuTimer::seconds() const { return now() - start_; }
+
+double CpuTimer::now() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+}  // namespace ebem

@@ -1,0 +1,54 @@
+// EarthBEM umbrella header: the full public API.
+//
+// Quick tour:
+//   geom::make_rect_grid / make_triangular_grid  — build a grid design
+//   soil::LayeredSoil                            — uniform / layered soil
+//   cad::GroundingSystem                         — mesh + solve + report
+//   post::PotentialEvaluator / assess_safety     — surface potentials, safety
+//   estimation::fit_two_layer                    — soil parameters from soundings
+// See examples/quickstart.cpp for a complete walkthrough.
+#pragma once
+
+#include "src/bem/analysis.hpp"
+#include "src/bem/assembly.hpp"
+#include "src/bem/element.hpp"
+#include "src/bem/integrator.hpp"
+#include "src/bem/segment_integrals.hpp"
+#include "src/bem/solver.hpp"
+#include "src/cad/cases.hpp"
+#include "src/cad/design_search.hpp"
+#include "src/cad/grounding_system.hpp"
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+#include "src/common/phase_report.hpp"
+#include "src/common/timer.hpp"
+#include "src/estimation/wenner.hpp"
+#include "src/fdm/fd_solver.hpp"
+#include "src/geom/conductor.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/geom/vec3.hpp"
+#include "src/io/csv.hpp"
+#include "src/io/grid_file.hpp"
+#include "src/io/report_writer.hpp"
+#include "src/io/table.hpp"
+#include "src/la/blas1.hpp"
+#include "src/la/cg.hpp"
+#include "src/la/cholesky.hpp"
+#include "src/la/dense_matrix.hpp"
+#include "src/la/sym_matrix.hpp"
+#include "src/parallel/parallel_for.hpp"
+#include "src/parallel/openmp_backend.hpp"
+#include "src/parallel/schedule.hpp"
+#include "src/parallel/schedule_sim.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/post/contour.hpp"
+#include "src/post/leakage.hpp"
+#include "src/post/safety.hpp"
+#include "src/post/surface_potential.hpp"
+#include "src/quad/gauss.hpp"
+#include "src/soil/hankel_kernel.hpp"
+#include "src/soil/image_series.hpp"
+#include "src/soil/kernel_factory.hpp"
+#include "src/soil/point_kernel.hpp"
+#include "src/soil/soil_model.hpp"

@@ -1,0 +1,143 @@
+#include "src/estimation/wenner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+#include "src/la/dense_matrix.hpp"
+
+namespace ebem::estimation {
+
+double wenner_apparent_resistivity(const soil::LayeredSoil& soil, double spacing,
+                                   double tolerance, std::size_t max_terms) {
+  EBEM_EXPECT(spacing > 0.0, "Wenner spacing must be positive");
+  if (soil.layer_count() == 1) return soil.resistivity(0);
+  EBEM_EXPECT(soil.layer_count() == 2, "Wenner forward model supports 1 or 2 layers");
+
+  const double rho1 = soil.resistivity(0);
+  const double rho2 = soil.resistivity(1);
+  const double h = soil.interface_depth(0);
+  // In resistivity form the reflection coefficient flips sign relative to
+  // the conductivity form used elsewhere.
+  const double kappa = (rho2 - rho1) / (rho2 + rho1);
+
+  double sum = 0.0;
+  double kn = 1.0;
+  for (std::size_t n = 1; n <= max_terms; ++n) {
+    kn *= kappa;
+    const double ratio = 2.0 * static_cast<double>(n) * h / spacing;
+    const double term = kn * (1.0 / std::sqrt(1.0 + square(ratio)) -
+                              1.0 / std::sqrt(4.0 + square(ratio)));
+    sum += term;
+    if (std::abs(term) < tolerance * std::max(std::abs(1.0 + 4.0 * sum), 1.0)) break;
+  }
+  return rho1 * (1.0 + 4.0 * sum);
+}
+
+namespace {
+
+/// Model parameterization: p = (log rho1, log rho2, log H) keeps all three
+/// positive and makes the misfit surface much better conditioned.
+struct Params {
+  double log_rho1;
+  double log_rho2;
+  double log_h;
+
+  [[nodiscard]] soil::LayeredSoil soil() const {
+    return soil::LayeredSoil::two_layer(1.0 / std::exp(log_rho1), 1.0 / std::exp(log_rho2),
+                                        std::exp(log_h));
+  }
+};
+
+double misfit(const Params& p, const std::vector<WennerReading>& readings,
+              std::vector<double>* residuals = nullptr) {
+  const soil::LayeredSoil soil = p.soil();
+  double sum = 0.0;
+  if (residuals != nullptr) residuals->resize(readings.size());
+  for (std::size_t k = 0; k < readings.size(); ++k) {
+    const double model = wenner_apparent_resistivity(soil, readings[k].spacing);
+    const double r = std::log(model) - std::log(readings[k].apparent_resistivity);
+    if (residuals != nullptr) (*residuals)[k] = r;
+    sum += r * r;
+  }
+  return sum;
+}
+
+}  // namespace
+
+TwoLayerFit fit_two_layer(const std::vector<WennerReading>& readings,
+                          const FitOptions& options) {
+  EBEM_EXPECT(readings.size() >= 3, "need at least three Wenner readings");
+  for (const WennerReading& r : readings) {
+    EBEM_EXPECT(r.spacing > 0.0 && r.apparent_resistivity > 0.0,
+                "readings must have positive spacing and resistivity");
+  }
+
+  // Initial guess: shallow readings see rho1, deep readings see rho2, and
+  // the layer depth starts at the geometric mean of the spacings.
+  auto sorted = readings;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WennerReading& a, const WennerReading& b) { return a.spacing < b.spacing; });
+  Params p{std::log(sorted.front().apparent_resistivity),
+           std::log(sorted.back().apparent_resistivity),
+           0.5 * (std::log(sorted.front().spacing) + std::log(sorted.back().spacing))};
+
+  double lambda = options.initial_damping;
+  std::vector<double> residuals;
+  double current = misfit(p, readings, &residuals);
+
+  TwoLayerFit fit;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    fit.iterations = iter + 1;
+    // Finite-difference Jacobian in the 3 log parameters.
+    constexpr double kStep = 1e-6;
+    la::DenseMatrix jacobian(readings.size(), 3);
+    for (std::size_t c = 0; c < 3; ++c) {
+      Params q = p;
+      (c == 0 ? q.log_rho1 : c == 1 ? q.log_rho2 : q.log_h) += kStep;
+      std::vector<double> perturbed;
+      misfit(q, readings, &perturbed);
+      for (std::size_t k = 0; k < readings.size(); ++k) {
+        jacobian(k, c) = (perturbed[k] - residuals[k]) / kStep;
+      }
+    }
+    // Levenberg-Marquardt step: (J^T J + lambda I) dp = -J^T r.
+    la::DenseMatrix normal = jacobian.transpose_times_self();
+    std::vector<double> gradient(3);
+    jacobian.transpose_multiply(residuals, gradient);
+    for (std::size_t c = 0; c < 3; ++c) {
+      normal(c, c) += lambda * std::max(normal(c, c), 1e-12);
+      gradient[c] = -gradient[c];
+    }
+    const std::vector<double> step = la::solve_dense(std::move(normal), gradient);
+
+    Params trial = p;
+    trial.log_rho1 += step[0];
+    trial.log_rho2 += step[1];
+    trial.log_h += step[2];
+    std::vector<double> trial_residuals;
+    const double trial_misfit = misfit(trial, readings, &trial_residuals);
+    if (trial_misfit < current) {
+      p = trial;
+      residuals = std::move(trial_residuals);
+      current = trial_misfit;
+      lambda = std::max(lambda * 0.3, 1e-12);
+      const double step_norm =
+          std::sqrt(step[0] * step[0] + step[1] * step[1] + step[2] * step[2]);
+      if (step_norm < options.tolerance) {
+        fit.converged = true;
+        break;
+      }
+    } else {
+      lambda *= 10.0;
+      if (lambda > 1e12) break;  // stuck; report the best point found
+    }
+  }
+  fit.soil = p.soil();
+  fit.rms_log_misfit = std::sqrt(current / static_cast<double>(readings.size()));
+  if (!fit.converged) fit.converged = fit.rms_log_misfit < 1e-6;
+  return fit;
+}
+
+}  // namespace ebem::estimation

@@ -1,0 +1,50 @@
+// Wenner four-point sounding: forward model and two-layer inversion.
+//
+// The paper's layered models take "an apparent scalar conductivity that must
+// be experimentally obtained" per layer; in practice those values come from
+// Wenner-array resistivity soundings. This module closes that loop: the
+// forward model predicts the apparent resistivity curve rho_a(a) of a
+// two-layer earth, and the inversion recovers (rho_1, rho_2, H) from
+// measured soundings by damped Gauss-Newton on log-resistivities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/soil/soil_model.hpp"
+
+namespace ebem::estimation {
+
+/// Apparent resistivity measured by a Wenner array of spacing `a` [m] over a
+/// two-layer earth (classical image-series formula, e.g. Tagg):
+///   rho_a = rho_1 [1 + 4 sum_n kappa_rho^n ( (1 + (2nH/a)^2)^{-1/2}
+///                                          - (4 + (2nH/a)^2)^{-1/2} ) ]
+/// with kappa_rho = (rho_2 - rho_1)/(rho_2 + rho_1).
+[[nodiscard]] double wenner_apparent_resistivity(const soil::LayeredSoil& soil, double spacing,
+                                                 double tolerance = 1e-12,
+                                                 std::size_t max_terms = 10000);
+
+struct WennerReading {
+  double spacing = 0.0;              ///< electrode spacing a [m]
+  double apparent_resistivity = 0.0; ///< measured rho_a [Ohm m]
+};
+
+struct FitOptions {
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-10;        ///< relative step-size stop criterion
+  double initial_damping = 1e-3;
+};
+
+struct TwoLayerFit {
+  soil::LayeredSoil soil = soil::LayeredSoil::uniform(1.0);
+  double rms_log_misfit = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Fit a two-layer model to Wenner readings. Needs >= 3 readings spanning
+/// spacings around the expected layer thickness.
+[[nodiscard]] TwoLayerFit fit_two_layer(const std::vector<WennerReading>& readings,
+                                        const FitOptions& options = {});
+
+}  // namespace ebem::estimation

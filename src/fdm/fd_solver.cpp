@@ -1,0 +1,239 @@
+#include "src/fdm/fd_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+#include "src/la/cg.hpp"
+
+namespace ebem::fdm {
+
+namespace {
+
+/// Node classification on the FD lattice.
+enum class NodeKind : std::uint8_t {
+  kFree,       ///< unknown potential
+  kElectrode,  ///< Dirichlet V = 1 (the GPR-normalized electrode)
+  kGround,     ///< Dirichlet V = 0 (truncated far boundary)
+};
+
+/// Squared distance from point p to the segment a-b.
+double segment_distance2(geom::Vec3 p, geom::Vec3 a, geom::Vec3 b) {
+  const geom::Vec3 axis = b - a;
+  const double len2 = geom::dot(axis, axis);
+  double t = len2 > 0.0 ? geom::dot(p - a, axis) / len2 : 0.0;
+  t = std::clamp(t, 0.0, 1.0);
+  const geom::Vec3 nearest = a + t * axis;
+  const geom::Vec3 d = p - nearest;
+  return geom::dot(d, d);
+}
+
+struct Lattice {
+  double x0 = 0.0, y0 = 0.0;
+  double hx = 0.0, hy = 0.0, hz = 0.0;
+  std::size_t nx = 0, ny = 0, nz = 0;  // node counts per direction
+
+  [[nodiscard]] std::size_t count() const { return nx * ny * nz; }
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j, std::size_t k) const {
+    return (k * ny + j) * nx + i;
+  }
+  [[nodiscard]] geom::Vec3 position(std::size_t i, std::size_t j, std::size_t k) const {
+    return {x0 + hx * static_cast<double>(i), y0 + hy * static_cast<double>(j),
+            -hz * static_cast<double>(k)};
+  }
+};
+
+}  // namespace
+
+FdResult solve_grounding(const std::vector<geom::Conductor>& conductors,
+                         const soil::LayeredSoil& soil, const FdOptions& options) {
+  EBEM_EXPECT(!conductors.empty(), "no conductors");
+  EBEM_EXPECT(options.padding > 0.0, "padding must be positive");
+  EBEM_EXPECT(options.cells_x >= 8 && options.cells_y >= 8 && options.cells_z >= 8,
+              "FD grid too coarse");
+
+  // Box: conductor bounding box padded laterally and below; top at z = 0.
+  double min_x = std::numeric_limits<double>::max();
+  double max_x = std::numeric_limits<double>::lowest();
+  double min_y = min_x, max_y = max_x, min_z = min_x;
+  for (const geom::Conductor& c : conductors) {
+    for (const geom::Vec3& p : {c.a, c.b}) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+      min_z = std::min(min_z, p.z);
+      EBEM_EXPECT(p.z < 0.0, "conductors must be buried");
+    }
+  }
+
+  Lattice grid;
+  grid.nx = options.cells_x + 1;
+  grid.ny = options.cells_y + 1;
+  grid.nz = options.cells_z + 1;
+  grid.x0 = min_x - options.padding;
+  grid.y0 = min_y - options.padding;
+  grid.hx = (max_x - min_x + 2.0 * options.padding) / static_cast<double>(options.cells_x);
+  grid.hy = (max_y - min_y + 2.0 * options.padding) / static_cast<double>(options.cells_y);
+  grid.hz = (-min_z + options.padding) / static_cast<double>(options.cells_z);
+
+  // Classify nodes.
+  std::vector<NodeKind> kind(grid.count(), NodeKind::kFree);
+  const double min_h = std::min({grid.hx, grid.hy, grid.hz});
+  std::size_t electrode_nodes = 0;
+  for (std::size_t k = 0; k < grid.nz; ++k) {
+    for (std::size_t j = 0; j < grid.ny; ++j) {
+      for (std::size_t i = 0; i < grid.nx; ++i) {
+        const std::size_t idx = grid.index(i, j, k);
+        if (i == 0 || i + 1 == grid.nx || j == 0 || j + 1 == grid.ny || k + 1 == grid.nz) {
+          kind[idx] = NodeKind::kGround;  // truncated far field
+          continue;
+        }
+        const geom::Vec3 p = grid.position(i, j, k);
+        for (const geom::Conductor& c : conductors) {
+          // Conductors thinner than the lattice collapse to the nearest
+          // node line (effective radius ~ half a cell).
+          const double capture = std::max(c.radius, 0.5 * min_h);
+          if (segment_distance2(p, c.a, c.b) <= square(capture)) {
+            kind[idx] = NodeKind::kElectrode;
+            ++electrode_nodes;
+            break;
+          }
+        }
+      }
+    }
+  }
+  EBEM_EXPECT(electrode_nodes > 0, "no FD node captured an electrode; refine the grid");
+
+  // Compress free nodes.
+  std::vector<std::size_t> free_index(grid.count(), 0);
+  std::size_t n_free = 0;
+  for (std::size_t idx = 0; idx < grid.count(); ++idx) {
+    if (kind[idx] == NodeKind::kFree) free_index[idx] = n_free++;
+  }
+
+  // Face conductances (top row carries half-height lateral faces so the
+  // surface Neumann condition is the natural one).
+  const double gx_area = grid.hy * grid.hz / grid.hx;
+  const double gy_area = grid.hx * grid.hz / grid.hy;
+  const double gz_area = grid.hx * grid.hy / grid.hz;
+  const auto face_gamma = [&](double z_face) {
+    return soil.conductivity(soil.layer_of(std::min(z_face, 0.0)));
+  };
+
+  struct Face {
+    long di, dj, dk;
+  };
+  static constexpr Face kFaces[] = {{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+                                    {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+
+  // Conductance of the face from node (i,j,k) toward (i+di, j+dj, k+dk).
+  const auto conductance = [&](std::size_t i, std::size_t j, std::size_t k, const Face& f) {
+    const double z = -grid.hz * static_cast<double>(k);
+    if (f.dk != 0) {
+      const double z_face = z - 0.5 * grid.hz * static_cast<double>(f.dk);
+      return gz_area * face_gamma(z_face);
+    }
+    double g = (f.di != 0 ? gx_area : gy_area) * face_gamma(z);
+    if (k == 0) g *= 0.5;  // half control volume at the surface
+    (void)i;
+    (void)j;
+    return g;
+  };
+
+  const auto neighbor_exists = [&](std::size_t i, std::size_t j, std::size_t k, const Face& f) {
+    const long ni = static_cast<long>(i) + f.di;
+    const long nj = static_cast<long>(j) + f.dj;
+    const long nk = static_cast<long>(k) + f.dk;
+    return ni >= 0 && nj >= 0 && nk >= 0 && ni < static_cast<long>(grid.nx) &&
+           nj < static_cast<long>(grid.ny) && nk < static_cast<long>(grid.nz);
+  };
+
+  // Assemble the RHS and diagonal once; apply the stencil matrix-free.
+  std::vector<double> rhs(n_free, 0.0);
+  std::vector<double> diagonal(n_free, 0.0);
+  for (std::size_t k = 0; k < grid.nz; ++k) {
+    for (std::size_t j = 0; j < grid.ny; ++j) {
+      for (std::size_t i = 0; i < grid.nx; ++i) {
+        const std::size_t idx = grid.index(i, j, k);
+        if (kind[idx] != NodeKind::kFree) continue;
+        const std::size_t row = free_index[idx];
+        for (const Face& f : kFaces) {
+          if (!neighbor_exists(i, j, k, f)) continue;  // surface: natural Neumann
+          const double g = conductance(i, j, k, f);
+          diagonal[row] += g;
+          const std::size_t nidx =
+              grid.index(i + static_cast<std::size_t>(f.di), j + static_cast<std::size_t>(f.dj),
+                         k + static_cast<std::size_t>(f.dk));
+          if (kind[nidx] == NodeKind::kElectrode) rhs[row] += g;  // V = 1
+        }
+      }
+    }
+  }
+
+  la::LinearOperator op;
+  op.size = n_free;
+  op.diagonal = diagonal;
+  op.apply = [&](std::span<const double> x, std::span<double> y) {
+    for (std::size_t row = 0; row < n_free; ++row) y[row] = 0.0;
+    for (std::size_t k = 0; k < grid.nz; ++k) {
+      for (std::size_t j = 0; j < grid.ny; ++j) {
+        for (std::size_t i = 0; i < grid.nx; ++i) {
+          const std::size_t idx = grid.index(i, j, k);
+          if (kind[idx] != NodeKind::kFree) continue;
+          const std::size_t row = free_index[idx];
+          double sum = diagonal[row] * x[row];
+          for (const Face& f : kFaces) {
+            if (!neighbor_exists(i, j, k, f)) continue;
+            const std::size_t nidx = grid.index(i + static_cast<std::size_t>(f.di),
+                                                j + static_cast<std::size_t>(f.dj),
+                                                k + static_cast<std::size_t>(f.dk));
+            if (kind[nidx] != NodeKind::kFree) continue;
+            sum -= conductance(i, j, k, f) * x[free_index[nidx]];
+          }
+          y[row] = sum;
+        }
+      }
+    }
+  };
+
+  la::CgOptions cg_options;
+  cg_options.tolerance = options.cg_tolerance;
+  cg_options.max_iterations = options.max_iterations;
+  const la::CgResult cg = la::conjugate_gradient(op, rhs, cg_options);
+
+  // Total current: flux out of every electrode node.
+  double current = 0.0;
+  for (std::size_t k = 0; k < grid.nz; ++k) {
+    for (std::size_t j = 0; j < grid.ny; ++j) {
+      for (std::size_t i = 0; i < grid.nx; ++i) {
+        const std::size_t idx = grid.index(i, j, k);
+        if (kind[idx] != NodeKind::kElectrode) continue;
+        for (const Face& f : kFaces) {
+          if (!neighbor_exists(i, j, k, f)) continue;
+          const std::size_t nidx = grid.index(i + static_cast<std::size_t>(f.di),
+                                              j + static_cast<std::size_t>(f.dj),
+                                              k + static_cast<std::size_t>(f.dk));
+          if (kind[nidx] == NodeKind::kElectrode) continue;
+          const double v_neighbor =
+              kind[nidx] == NodeKind::kFree ? cg.x[free_index[nidx]] : 0.0;
+          current += conductance(i, j, k, f) * (1.0 - v_neighbor);
+        }
+      }
+    }
+  }
+  EBEM_ENSURE(current > 0.0, "non-positive FD leakage current");
+
+  FdResult result;
+  result.total_current = current;
+  result.equivalent_resistance = 1.0 / current;
+  result.unknowns = n_free;
+  result.electrode_nodes = electrode_nodes;
+  result.cg_iterations = cg.iterations;
+  result.converged = cg.converged;
+  return result;
+}
+
+}  // namespace ebem::fdm

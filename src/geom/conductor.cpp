@@ -1,0 +1,15 @@
+#include "src/geom/conductor.hpp"
+
+#include "src/common/math_utils.hpp"
+
+namespace ebem::geom {
+
+double Conductor::surface_area() const { return 2.0 * kPi * radius * length(); }
+
+double total_length(const std::vector<Conductor>& conductors) {
+  double sum = 0.0;
+  for (const Conductor& c : conductors) sum += c.length();
+  return sum;
+}
+
+}  // namespace ebem::geom

@@ -1,0 +1,28 @@
+// A cylindrical grounding conductor: a bare metal bar between two points.
+//
+// Real grids are meshes of such conductors — horizontal bars at burial depth
+// plus vertical ground rods (paper §1). Conductors are later subdivided into
+// boundary elements by the mesh builder.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/vec3.hpp"
+
+namespace ebem::geom {
+
+struct Conductor {
+  Vec3 a;
+  Vec3 b;
+  double radius = 0.0;  ///< cylinder radius [m]
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+  [[nodiscard]] Vec3 midpoint() const { return 0.5 * (a + b); }
+  /// Lateral (dissipating) surface area, 2*pi*r*L.
+  [[nodiscard]] double surface_area() const;
+};
+
+/// Total axial length of a conductor set.
+[[nodiscard]] double total_length(const std::vector<Conductor>& conductors);
+
+}  // namespace ebem::geom

@@ -1,0 +1,242 @@
+#include "src/geom/grid_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace ebem::geom {
+
+namespace {
+
+void validate_common(double depth, double radius) {
+  EBEM_EXPECT(depth > 0.0, "burial depth must be positive");
+  EBEM_EXPECT(radius > 0.0, "conductor radius must be positive");
+}
+
+}  // namespace
+
+std::vector<Conductor> make_rect_grid(const RectGridSpec& spec) {
+  EBEM_EXPECT(spec.length_x > 0.0 && spec.length_y > 0.0, "grid extents must be positive");
+  EBEM_EXPECT(spec.cells_x >= 1 && spec.cells_y >= 1, "need at least one cell per direction");
+  validate_common(spec.depth, spec.radius);
+
+  const double dx = spec.length_x / static_cast<double>(spec.cells_x);
+  const double dy = spec.length_y / static_cast<double>(spec.cells_y);
+  const double z = -spec.depth;
+  std::vector<Conductor> grid;
+  grid.reserve((spec.cells_x + 1) * spec.cells_y + (spec.cells_y + 1) * spec.cells_x);
+
+  // Bars parallel to x, split at every crossing with a y-parallel bar.
+  for (std::size_t j = 0; j <= spec.cells_y; ++j) {
+    const double y = static_cast<double>(j) * dy;
+    for (std::size_t i = 0; i < spec.cells_x; ++i) {
+      const double x0 = static_cast<double>(i) * dx;
+      grid.push_back({{x0, y, z}, {x0 + dx, y, z}, spec.radius});
+    }
+  }
+  // Bars parallel to y.
+  for (std::size_t i = 0; i <= spec.cells_x; ++i) {
+    const double x = static_cast<double>(i) * dx;
+    for (std::size_t j = 0; j < spec.cells_y; ++j) {
+      const double y0 = static_cast<double>(j) * dy;
+      grid.push_back({{x, y0, z}, {x, y0 + dy, z}, spec.radius});
+    }
+  }
+  return grid;
+}
+
+std::vector<Conductor> make_triangular_grid(const TriangularGridSpec& spec) {
+  EBEM_EXPECT(spec.leg_x > 0.0 && spec.leg_y > 0.0, "triangle legs must be positive");
+  EBEM_EXPECT(spec.cells_x >= 1 && spec.cells_y >= 1, "need at least one cell per direction");
+  validate_common(spec.depth, spec.radius);
+
+  const double dx = spec.leg_x / static_cast<double>(spec.cells_x);
+  const double dy = spec.leg_y / static_cast<double>(spec.cells_y);
+  const double z = -spec.depth;
+  std::vector<Conductor> grid;
+
+  // A point (x, y) is inside the triangle with vertices (0,0), (leg_x,0),
+  // (0,leg_y) iff x/leg_x + y/leg_y <= 1.
+  const auto inside = [&](double x, double y) {
+    return x / spec.leg_x + y / spec.leg_y <= 1.0 + 1e-9;
+  };
+  // Clip parameter of the hypotenuse along an x-parallel bar at height y.
+  const auto hyp_x = [&](double y) { return spec.leg_x * (1.0 - y / spec.leg_y); };
+  const auto hyp_y = [&](double x) { return spec.leg_y * (1.0 - x / spec.leg_x); };
+
+  // x-parallel bars, clipped by the hypotenuse.
+  for (std::size_t j = 0; j <= spec.cells_y; ++j) {
+    const double y = static_cast<double>(j) * dy;
+    for (std::size_t i = 0; i < spec.cells_x; ++i) {
+      const double x0 = static_cast<double>(i) * dx;
+      const double x1 = x0 + dx;
+      if (!inside(x0, y)) break;
+      const double x_end = inside(x1, y) ? x1 : hyp_x(y);
+      if (x_end - x0 > 1e-9) grid.push_back({{x0, y, z}, {x_end, y, z}, spec.radius});
+    }
+  }
+  // y-parallel bars, clipped by the hypotenuse.
+  for (std::size_t i = 0; i <= spec.cells_x; ++i) {
+    const double x = static_cast<double>(i) * dx;
+    for (std::size_t j = 0; j < spec.cells_y; ++j) {
+      const double y0 = static_cast<double>(j) * dy;
+      const double y1 = y0 + dy;
+      if (!inside(x, y0)) break;
+      const double y_end = inside(x, y1) ? y1 : hyp_y(x);
+      if (y_end - y0 > 1e-9) grid.push_back({{x, y0, z}, {x, y_end, z}, spec.radius});
+    }
+  }
+  // Hypotenuse perimeter conductor, one segment per x-column so it shares
+  // nodes with the clipped bar endpoints.
+  for (std::size_t i = 0; i < spec.cells_x; ++i) {
+    const double x0 = static_cast<double>(i) * dx;
+    const double x1 = x0 + dx;
+    grid.push_back({{x0, hyp_y(x0), z}, {x1, hyp_y(x1), z}, spec.radius});
+  }
+  return grid;
+}
+
+std::vector<double> graded_partition(double length, std::size_t cells, double grading) {
+  EBEM_EXPECT(length > 0.0, "partition length must be positive");
+  EBEM_EXPECT(cells >= 1, "need at least one cell");
+  EBEM_EXPECT(grading > 0.0, "grading must be positive");
+  // Cell widths grow geometrically from the edges toward the center:
+  // w_i proportional to grading^(d_i) with d_i the normalized distance of
+  // cell i from the nearer edge (0 at the edge, 1 at the center).
+  std::vector<double> widths(cells);
+  const double half = std::max((static_cast<double>(cells) - 1.0) / 2.0, 1.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double edge_distance =
+        static_cast<double>(std::min(i, cells - 1 - i)) / half;
+    widths[i] = std::pow(grading, edge_distance);
+    total += widths[i];
+  }
+  std::vector<double> nodes(cells + 1);
+  nodes[0] = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    nodes[i + 1] = nodes[i] + widths[i] * length / total;
+  }
+  nodes[cells] = length;  // kill accumulation error exactly
+  return nodes;
+}
+
+std::vector<Conductor> make_graded_rect_grid(const GradedRectGridSpec& spec) {
+  EBEM_EXPECT(spec.length_x > 0.0 && spec.length_y > 0.0, "grid extents must be positive");
+  EBEM_EXPECT(spec.cells_x >= 1 && spec.cells_y >= 1, "need at least one cell per direction");
+  validate_common(spec.depth, spec.radius);
+  const std::vector<double> xs = graded_partition(spec.length_x, spec.cells_x, spec.grading);
+  const std::vector<double> ys = graded_partition(spec.length_y, spec.cells_y, spec.grading);
+  const double z = -spec.depth;
+  std::vector<Conductor> grid;
+  for (double y : ys) {
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+      grid.push_back({{xs[i], y, z}, {xs[i + 1], y, z}, spec.radius});
+    }
+  }
+  for (double x : xs) {
+    for (std::size_t j = 0; j + 1 < ys.size(); ++j) {
+      grid.push_back({{x, ys[j], z}, {x, ys[j + 1], z}, spec.radius});
+    }
+  }
+  return grid;
+}
+
+std::vector<Conductor> make_l_shaped_grid(const LShapedGridSpec& spec) {
+  EBEM_EXPECT(spec.length_x > 0.0 && spec.length_y > 0.0, "grid extents must be positive");
+  EBEM_EXPECT(spec.cut_x > 0.0 && spec.cut_x < spec.length_x, "cut_x must be inside the grid");
+  EBEM_EXPECT(spec.cut_y > 0.0 && spec.cut_y < spec.length_y, "cut_y must be inside the grid");
+  EBEM_EXPECT(spec.cells_x >= 2 && spec.cells_y >= 2, "need at least two cells per direction");
+  validate_common(spec.depth, spec.radius);
+
+  const double dx = spec.length_x / static_cast<double>(spec.cells_x);
+  const double dy = spec.length_y / static_cast<double>(spec.cells_y);
+  const double z = -spec.depth;
+  // A bar piece belongs to the L iff its midpoint is outside the removed
+  // (+x, +y) corner rectangle.
+  const auto inside = [&](double x, double y) {
+    return !(x > spec.length_x - spec.cut_x + 1e-9 && y > spec.length_y - spec.cut_y + 1e-9);
+  };
+  std::vector<Conductor> grid;
+  for (std::size_t j = 0; j <= spec.cells_y; ++j) {
+    const double y = static_cast<double>(j) * dy;
+    for (std::size_t i = 0; i < spec.cells_x; ++i) {
+      const double x0 = static_cast<double>(i) * dx;
+      if (inside(x0 + 0.5 * dx, y)) grid.push_back({{x0, y, z}, {x0 + dx, y, z}, spec.radius});
+    }
+  }
+  for (std::size_t i = 0; i <= spec.cells_x; ++i) {
+    const double x = static_cast<double>(i) * dx;
+    for (std::size_t j = 0; j < spec.cells_y; ++j) {
+      const double y0 = static_cast<double>(j) * dy;
+      if (inside(x, y0 + 0.5 * dy)) grid.push_back({{x, y0, z}, {x, y0 + dy, z}, spec.radius});
+    }
+  }
+  return grid;
+}
+
+void add_rods(std::vector<Conductor>& grid, const std::vector<Vec3>& positions, double depth,
+              const RodSpec& rod) {
+  EBEM_EXPECT(rod.length > 0.0, "rod length must be positive");
+  EBEM_EXPECT(rod.radius > 0.0, "rod radius must be positive");
+  validate_common(depth, rod.radius);
+  for (const Vec3& p : positions) {
+    grid.push_back({{p.x, p.y, -depth}, {p.x, p.y, -(depth + rod.length)}, rod.radius});
+  }
+}
+
+std::vector<Vec3> perimeter_rod_positions(const RectGridSpec& spec, std::size_t count) {
+  EBEM_EXPECT(count >= 1, "need at least one rod");
+  // Walk the rectangle perimeter and drop rods at equal arc-length spacing.
+  const double perimeter = 2.0 * (spec.length_x + spec.length_y);
+  std::vector<Vec3> positions;
+  positions.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    double s = perimeter * static_cast<double>(k) / static_cast<double>(count);
+    double x = 0.0;
+    double y = 0.0;
+    if (s < spec.length_x) {
+      x = s;
+      y = 0.0;
+    } else if (s < spec.length_x + spec.length_y) {
+      x = spec.length_x;
+      y = s - spec.length_x;
+    } else if (s < 2.0 * spec.length_x + spec.length_y) {
+      x = spec.length_x - (s - spec.length_x - spec.length_y);
+      y = spec.length_y;
+    } else {
+      x = 0.0;
+      y = spec.length_y - (s - 2.0 * spec.length_x - spec.length_y);
+    }
+    positions.push_back({x, y, 0.0});
+  }
+  return positions;
+}
+
+GridStats grid_stats(const std::vector<Conductor>& grid) {
+  GridStats stats;
+  stats.conductor_count = grid.size();
+  stats.total_length = total_length(grid);
+  double min_x = std::numeric_limits<double>::max();
+  double max_x = std::numeric_limits<double>::lowest();
+  double min_y = min_x;
+  double max_y = max_x;
+  stats.min_z = min_x;
+  stats.max_z = max_x;
+  for (const Conductor& c : grid) {
+    for (const Vec3& p : {c.a, c.b}) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+      stats.min_z = std::min(stats.min_z, p.z);
+      stats.max_z = std::max(stats.max_z, p.z);
+    }
+  }
+  if (!grid.empty()) stats.area_bbox = (max_x - min_x) * (max_y - min_y);
+  return stats;
+}
+
+}  // namespace ebem::geom

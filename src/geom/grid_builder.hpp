@@ -1,0 +1,109 @@
+// Parametric builders for grounding-grid geometries.
+//
+// The paper's test cases are real substations (Barberá: a right-triangle
+// 143 x 89 m grid of 408 conductor segments; Balaidós: a 107-conductor mesh
+// with 67 vertical rods). The exact CAD plans are not published, so these
+// builders generate grids from the stated global parameters: outline,
+// spacing, burial depth, conductor diameter, rod layout. See DESIGN.md §4.2.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geom/conductor.hpp"
+
+namespace ebem::geom {
+
+struct RectGridSpec {
+  double length_x = 0.0;      ///< grid extent in x [m]
+  double length_y = 0.0;      ///< grid extent in y [m]
+  std::size_t cells_x = 1;    ///< number of mesh cells along x
+  std::size_t cells_y = 1;    ///< number of mesh cells along y
+  double depth = 0.8;         ///< burial depth (conductors at z = -depth) [m]
+  double radius = 6.0e-3;     ///< conductor radius [m]
+};
+
+/// Rectangular mesh grid: (cells_x+1) transversal + (cells_y+1) longitudinal
+/// bars, each split at every crossing so conductors meet at shared nodes.
+[[nodiscard]] std::vector<Conductor> make_rect_grid(const RectGridSpec& spec);
+
+struct TriangularGridSpec {
+  double leg_x = 0.0;       ///< horizontal leg of the right triangle [m]
+  double leg_y = 0.0;       ///< vertical leg of the right triangle [m]
+  std::size_t cells_x = 1;
+  std::size_t cells_y = 1;
+  double depth = 0.8;
+  double radius = 6.0e-3;
+};
+
+/// Right-triangle grid (Barberá-like): a rectangular mesh clipped by the
+/// hypotenuse from (leg_x, 0) to (0, leg_y), with the hypotenuse itself laid
+/// as a perimeter conductor. Segments are split at all crossings.
+[[nodiscard]] std::vector<Conductor> make_triangular_grid(const TriangularGridSpec& spec);
+
+struct GradedRectGridSpec {
+  double length_x = 0.0;
+  double length_y = 0.0;
+  std::size_t cells_x = 1;
+  std::size_t cells_y = 1;
+  /// Ratio of the central cell width to the edge cell width. > 1 compresses
+  /// conductors toward the perimeter — the classical unequal-spacing layout
+  /// that evens out the leakage density (edge conductors work hardest) and
+  /// trims mesh/touch voltages at equal conductor cost.
+  double grading = 1.0;
+  double depth = 0.8;
+  double radius = 6.0e-3;
+};
+
+/// Rectangular grid with geometrically graded spacing (grading = 1 is the
+/// uniform grid of make_rect_grid).
+[[nodiscard]] std::vector<Conductor> make_graded_rect_grid(const GradedRectGridSpec& spec);
+
+/// The graded 1D partition used by make_graded_rect_grid: `cells + 1` node
+/// coordinates over [0, length]. Exposed for tests.
+[[nodiscard]] std::vector<double> graded_partition(double length, std::size_t cells,
+                                                   double grading);
+
+struct LShapedGridSpec {
+  double length_x = 0.0;  ///< overall extent in x
+  double length_y = 0.0;  ///< overall extent in y
+  double cut_x = 0.0;     ///< cut-out size in x (removed from the +x/+y corner)
+  double cut_y = 0.0;     ///< cut-out size in y
+  std::size_t cells_x = 1;
+  std::size_t cells_y = 1;
+  double depth = 0.8;
+  double radius = 6.0e-3;
+};
+
+/// L-shaped mesh grid: the rectangle minus its (+x, +y) corner rectangle —
+/// the other common real-substation footprint besides rectangles and the
+/// Barbera-style triangle.
+[[nodiscard]] std::vector<Conductor> make_l_shaped_grid(const LShapedGridSpec& spec);
+
+struct RodSpec {
+  double length = 1.5;     ///< rod length [m], driven downward from the grid plane
+  double radius = 7.0e-3;  ///< rod radius [m]
+};
+
+/// Append vertical rods at the given plan positions, starting at z = -depth
+/// and extending down to z = -(depth + rod length).
+void add_rods(std::vector<Conductor>& grid, const std::vector<Vec3>& positions,
+              double depth, const RodSpec& rod);
+
+/// Evenly spaced rod positions along the perimeter nodes of a rectangular
+/// grid, the common engineering layout; `count` rods are selected.
+[[nodiscard]] std::vector<Vec3> perimeter_rod_positions(const RectGridSpec& spec,
+                                                        std::size_t count);
+
+/// Summary statistics used by tests and the grid benches.
+struct GridStats {
+  std::size_t conductor_count = 0;
+  double total_length = 0.0;
+  double min_z = 0.0;
+  double max_z = 0.0;
+  double area_bbox = 0.0;  ///< bounding-box plan area
+};
+
+[[nodiscard]] GridStats grid_stats(const std::vector<Conductor>& grid);
+
+}  // namespace ebem::geom

@@ -1,0 +1,108 @@
+#include "src/geom/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "src/common/error.hpp"
+
+namespace ebem::geom {
+
+namespace {
+
+/// Spatial hash that merges nearby coordinates into node indices.
+class NodeIndex {
+ public:
+  explicit NodeIndex(double tolerance) : tol_(tolerance), inv_cell_(1.0 / (4.0 * tolerance)) {}
+
+  std::size_t intern(Vec3 p, std::vector<Vec3>& nodes) {
+    // Check the 27 neighbouring hash cells for an existing node within
+    // tolerance (a point near a cell border may have been binned next door).
+    const long cx = cell(p.x);
+    const long cy = cell(p.y);
+    const long cz = cell(p.z);
+    for (long ix = cx - 1; ix <= cx + 1; ++ix) {
+      for (long iy = cy - 1; iy <= cy + 1; ++iy) {
+        for (long iz = cz - 1; iz <= cz + 1; ++iz) {
+          const auto it = map_.find(key(ix, iy, iz));
+          if (it == map_.end()) continue;
+          for (const std::size_t idx : it->second) {
+            if (distance(nodes[idx], p) <= tol_) return idx;
+          }
+        }
+      }
+    }
+    const std::size_t idx = nodes.size();
+    nodes.push_back(p);
+    map_[key(cx, cy, cz)].push_back(idx);
+    return idx;
+  }
+
+ private:
+  [[nodiscard]] long cell(double v) const { return static_cast<long>(std::floor(v * inv_cell_)); }
+  [[nodiscard]] static std::uint64_t key(long x, long y, long z) {
+    // Pack three 21-bit signed cells; fine for any realistic substation.
+    const auto u = [](long v) { return static_cast<std::uint64_t>(v + (1L << 20)) & 0x1FFFFF; };
+    return (u(x) << 42) | (u(y) << 21) | u(z);
+  }
+
+  double tol_;
+  double inv_cell_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> map_;
+};
+
+}  // namespace
+
+Mesh Mesh::build(const std::vector<Conductor>& conductors, const MeshOptions& options) {
+  EBEM_EXPECT(!conductors.empty(), "cannot mesh an empty conductor set");
+  EBEM_EXPECT(options.node_merge_tolerance > 0.0, "node merge tolerance must be positive");
+  Mesh mesh;
+  NodeIndex index(options.node_merge_tolerance);
+
+  for (const Conductor& c : conductors) {
+    const double length = c.length();
+    EBEM_EXPECT(length > options.node_merge_tolerance, "degenerate conductor (zero length)");
+    std::size_t pieces = 1;
+    if (options.target_element_length > 0.0) {
+      pieces = static_cast<std::size_t>(std::ceil(length / options.target_element_length));
+      pieces = std::max<std::size_t>(pieces, 1);
+    }
+    const Vec3 step = (c.b - c.a) / static_cast<double>(pieces);
+    Vec3 start = c.a;
+    for (std::size_t k = 0; k < pieces; ++k) {
+      // Compute the endpoint from the conductor ends to avoid drift.
+      const Vec3 end = (k + 1 == pieces) ? c.b : c.a + static_cast<double>(k + 1) * step;
+      MeshElement element;
+      element.a = start;
+      element.b = end;
+      element.radius = c.radius;
+      element.node_a = index.intern(start, mesh.nodes_);
+      element.node_b = index.intern(end, mesh.nodes_);
+      EBEM_ENSURE(element.node_a != element.node_b, "element endpoints merged to one node");
+      mesh.elements_.push_back(element);
+      start = end;
+    }
+  }
+  return mesh;
+}
+
+double Mesh::total_length() const {
+  double sum = 0.0;
+  for (const MeshElement& e : elements_) sum += e.length();
+  return sum;
+}
+
+double Mesh::min_z() const {
+  double v = std::numeric_limits<double>::max();
+  for (const MeshElement& e : elements_) v = std::min({v, e.a.z, e.b.z});
+  return v;
+}
+
+double Mesh::max_z() const {
+  double v = std::numeric_limits<double>::lowest();
+  for (const MeshElement& e : elements_) v = std::max({v, e.a.z, e.b.z});
+  return v;
+}
+
+}  // namespace ebem::geom

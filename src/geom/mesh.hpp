@@ -1,0 +1,60 @@
+// Boundary-element mesh over a conductor network.
+//
+// Conductors are subdivided into straight elements; endpoint coordinates are
+// deduplicated into shared nodes so a linear (hat-function) Galerkin basis
+// can span element boundaries — the paper's "408 linear leakage current
+// elements which implies 238 degrees of freedom" relation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geom/conductor.hpp"
+#include "src/geom/vec3.hpp"
+
+namespace ebem::geom {
+
+/// One straight boundary element (a piece of a conductor axis).
+struct MeshElement {
+  Vec3 a;
+  Vec3 b;
+  double radius = 0.0;
+  std::size_t node_a = 0;  ///< global node index of endpoint a
+  std::size_t node_b = 0;  ///< global node index of endpoint b
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+};
+
+struct MeshOptions {
+  /// Target element length [m]; every conductor is split into
+  /// ceil(length / target) equal elements. 0 keeps one element per conductor.
+  double target_element_length = 0.0;
+  /// Coordinates closer than this are merged into one node [m].
+  double node_merge_tolerance = 1e-6;
+};
+
+class Mesh {
+ public:
+  Mesh() = default;
+
+  /// Build the element mesh from a conductor network.
+  static Mesh build(const std::vector<Conductor>& conductors, const MeshOptions& options = {});
+
+  [[nodiscard]] const std::vector<MeshElement>& elements() const { return elements_; }
+  [[nodiscard]] const std::vector<Vec3>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t element_count() const { return elements_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Total axial length of all elements.
+  [[nodiscard]] double total_length() const;
+
+  /// Shallowest and deepest element z (both negative for buried grids).
+  [[nodiscard]] double min_z() const;
+  [[nodiscard]] double max_z() const;
+
+ private:
+  std::vector<MeshElement> elements_;
+  std::vector<Vec3> nodes_;
+};
+
+}  // namespace ebem::geom

@@ -1,0 +1,19 @@
+#include "src/geom/vec3.hpp"
+
+#include <ostream>
+
+#include "src/common/error.hpp"
+
+namespace ebem::geom {
+
+Vec3 normalized(Vec3 v) {
+  const double n = norm(v);
+  EBEM_EXPECT(n > 0.0, "cannot normalize a zero vector");
+  return v / n;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec3 v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace ebem::geom

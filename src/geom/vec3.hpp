@@ -1,0 +1,47 @@
+// 3D vector type used throughout the geometry and BEM modules.
+//
+// Coordinate convention (fixed across the library): z points *up*, the earth
+// surface is the plane z = 0, and buried conductors have z < 0.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace ebem::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr Vec3 operator*(double s, Vec3 v) { return {s * v.x, s * v.y, s * v.z}; }
+  friend constexpr Vec3 operator*(Vec3 v, double s) { return s * v; }
+  friend constexpr Vec3 operator/(Vec3 v, double s) { return {v.x / s, v.y / s, v.z / s}; }
+  Vec3& operator+=(Vec3 o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Vec3 a, Vec3 b) = default;
+};
+
+[[nodiscard]] constexpr double dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+[[nodiscard]] constexpr Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+[[nodiscard]] inline double norm(Vec3 v) { return std::sqrt(dot(v, v)); }
+
+[[nodiscard]] inline double distance(Vec3 a, Vec3 b) { return norm(a - b); }
+
+/// Unit vector along v; v must be nonzero.
+[[nodiscard]] Vec3 normalized(Vec3 v);
+
+std::ostream& operator<<(std::ostream& os, Vec3 v);
+
+}  // namespace ebem::geom

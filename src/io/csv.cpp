@@ -1,0 +1,35 @@
+#include "src/io/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/common/error.hpp"
+
+namespace ebem::io {
+
+void write_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<std::span<const double>>& columns) {
+  EBEM_EXPECT(headers.size() == columns.size(), "header/column count mismatch");
+  EBEM_EXPECT(!columns.empty(), "need at least one column");
+  const std::size_t rows = columns.front().size();
+  for (const auto& column : columns) {
+    EBEM_EXPECT(column.size() == rows, "CSV columns must have equal length");
+  }
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    os << headers[c] << (c + 1 < headers.size() ? ',' : '\n');
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      os << columns[c][r] << (c + 1 < columns.size() ? ',' : '\n');
+    }
+  }
+}
+
+void write_csv_file(const std::string& path, const std::vector<std::string>& headers,
+                    const std::vector<std::span<const double>>& columns) {
+  std::ofstream os(path);
+  EBEM_EXPECT(os.good(), "cannot open '" + path + "' for writing");
+  write_csv(os, headers, columns);
+}
+
+}  // namespace ebem::io

@@ -1,0 +1,19 @@
+// CSV writers for analysis results (leakage densities, profiles, grids).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ebem::io {
+
+/// Write columns as CSV; all columns must share one length.
+void write_csv(std::ostream& os, const std::vector<std::string>& headers,
+               const std::vector<std::span<const double>>& columns);
+
+/// Write columns to a file; throws on I/O failure.
+void write_csv_file(const std::string& path, const std::vector<std::string>& headers,
+                    const std::vector<std::span<const double>>& columns);
+
+}  // namespace ebem::io

@@ -1,0 +1,63 @@
+#include "src/io/report_writer.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ebem::io {
+
+namespace {
+
+/// Lower-snake-case JSON key for a phase name ("Matrix Generation" ->
+/// "matrix_generation").
+std::string phase_key(Phase phase) {
+  std::string key = phase_name(phase);
+  for (char& c : key) {
+    if (c == ' ') {
+      c = '_';
+    } else {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& os, const cad::Report& report) {
+  os << std::setprecision(12);
+  os << "{\n";
+  os << "  \"gpr_volts\": " << report.gpr << ",\n";
+  os << "  \"equivalent_resistance_ohm\": " << report.equivalent_resistance << ",\n";
+  os << "  \"total_current_amps\": " << report.total_current << ",\n";
+  os << "  \"element_count\": " << report.element_count << ",\n";
+  os << "  \"dof_count\": " << report.dof_count << ",\n";
+  os << "  \"phases_cpu_seconds\": {\n";
+  constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    os << "    \"" << phase_key(phase) << "\": " << report.phases.cpu_seconds(phase);
+    os << (i + 1 < kNumPhases ? ",\n" : "\n");
+  }
+  os << "  },\n";
+  os << "  \"matrix_generation_share\": "
+     << report.phases.cpu_fraction(Phase::kMatrixGeneration) << "\n";
+  os << "}\n";
+}
+
+std::string report_json(const cad::Report& report) {
+  std::ostringstream os;
+  write_report_json(os, report);
+  return os.str();
+}
+
+void write_report_json_file(const std::string& path, const cad::Report& report) {
+  std::ofstream os(path);
+  EBEM_EXPECT(os.good(), "cannot open '" + path + "' for writing");
+  write_report_json(os, report);
+}
+
+}  // namespace ebem::io

@@ -1,0 +1,23 @@
+// Machine-readable analysis report (JSON).
+//
+// The CAD facade produces a Report; downstream tooling (plotting, design
+// databases, regression dashboards) consumes it through this writer. The
+// emitted JSON is flat and stable: one object with scalar fields plus the
+// per-phase timing map.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/cad/grounding_system.hpp"
+
+namespace ebem::io {
+
+/// Serialize the report as a single JSON object.
+void write_report_json(std::ostream& os, const cad::Report& report);
+
+/// Convenience: to string / to file.
+[[nodiscard]] std::string report_json(const cad::Report& report);
+void write_report_json_file(const std::string& path, const cad::Report& report);
+
+}  // namespace ebem::io

@@ -1,0 +1,30 @@
+// Level-1 dense vector kernels (BLAS-lite).
+//
+// The library carries its own minimal kernels instead of depending on an
+// external BLAS: problem sizes in grounding analysis (N ~ 10^2..10^4) are
+// dominated by matrix *generation*, not by these operations (paper §4.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ebem::la {
+
+using Vector = std::vector<double>;
+
+/// dot(x, y) = sum_i x_i y_i. Sizes must match.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scal(double alpha, std::span<double> x);
+
+/// Euclidean norm of x.
+[[nodiscard]] double nrm2(std::span<const double> x);
+
+/// Maximum absolute entry of x (0 for an empty span).
+[[nodiscard]] double amax(std::span<const double> x);
+
+}  // namespace ebem::la

@@ -1,0 +1,45 @@
+#include "src/la/cholesky.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebem::la {
+
+Cholesky::Cholesky(const SymMatrix& a) : n_(a.size()), l_(a.packed().begin(), a.packed().end()) {
+  for (std::size_t j = 0; j < n_; ++j) {
+    double diag = l_[index(j, j)];
+    for (std::size_t k = 0; k < j; ++k) {
+      const double ljk = l_[index(j, k)];
+      diag -= ljk * ljk;
+    }
+    EBEM_EXPECT(diag > 0.0, "matrix is not positive definite");
+    const double ljj = std::sqrt(diag);
+    l_[index(j, j)] = ljj;
+    for (std::size_t i = j + 1; i < n_; ++i) {
+      double sum = l_[index(i, j)];
+      for (std::size_t k = 0; k < j; ++k) sum -= l_[index(i, k)] * l_[index(j, k)];
+      l_[index(i, j)] = sum / ljj;
+    }
+  }
+}
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  EBEM_EXPECT(b.size() == n_, "right-hand-side size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  // Forward substitution: L y = b.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = x[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= l_[index(i, j)] * x[j];
+    x[i] = sum / l_[index(i, i)];
+  }
+  // Back substitution: L^T x = y.
+  for (std::size_t i = n_; i-- > 0;) {
+    double sum = x[i];
+    for (std::size_t j = i + 1; j < n_; ++j) sum -= l_[index(j, i)] * x[j];
+    x[i] = sum / l_[index(i, i)];
+  }
+  return x;
+}
+
+}  // namespace ebem::la

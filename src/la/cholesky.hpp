@@ -1,0 +1,33 @@
+// LL^T Cholesky factorization of a packed symmetric positive-definite matrix.
+//
+// The direct O(N^3/3) reference solver of the paper's §4.3 cost analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/la/sym_matrix.hpp"
+
+namespace ebem::la {
+
+/// Cholesky factor of an SPD matrix; factorization happens at construction.
+/// Throws ebem::InvalidArgument if the matrix is not positive definite.
+class Cholesky {
+ public:
+  explicit Cholesky(const SymMatrix& a);
+
+  /// Solve A x = b.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> l_;  // packed lower triangle of L
+
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const {
+    return i * (i + 1) / 2 + j;
+  }
+};
+
+}  // namespace ebem::la

@@ -1,0 +1,69 @@
+#include "src/la/dense_matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebem::la {
+
+void DenseMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  assert(x.size() == cols_ && y.size() == rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) sum += (*this)(i, j) * x[j];
+    y[i] = sum;
+  }
+}
+
+DenseMatrix DenseMatrix::transpose_times_self() const {
+  DenseMatrix c(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < rows_; ++k) sum += (*this)(k, i) * (*this)(k, j);
+      c(i, j) = sum;
+      c(j, i) = sum;
+    }
+  }
+  return c;
+}
+
+void DenseMatrix::transpose_multiply(std::span<const double> x, std::span<double> y) const {
+  assert(x.size() == rows_ && y.size() == cols_);
+  for (std::size_t j = 0; j < cols_; ++j) y[j] = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) y[j] += (*this)(i, j) * x[i];
+  }
+}
+
+std::vector<double> solve_dense(DenseMatrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  EBEM_EXPECT(a.cols() == n && b.size() == n, "solve_dense requires a square system");
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t pivot = k;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > std::abs(a(pivot, k))) pivot = i;
+    }
+    EBEM_EXPECT(std::abs(a(pivot, k)) > 0.0, "singular matrix in solve_dense");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(pivot, j));
+      std::swap(b[k], b[pivot]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = a(i, k) / a(k, k);
+      for (std::size_t j = k; j < n; ++j) a(i, j) -= factor * a(k, j);
+      b[i] -= factor * b[k];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a(i, j) * x[j];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+}  // namespace ebem::la

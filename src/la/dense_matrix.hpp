@@ -1,0 +1,46 @@
+// General dense row-major matrix, used by the estimation module's normal
+// equations and by tests that need non-symmetric storage.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ebem::la {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+
+  /// y = A x (sizes must match).
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// C = A^T A, the Gauss-Newton normal matrix.
+  [[nodiscard]] DenseMatrix transpose_times_self() const;
+
+  /// y = A^T x.
+  void transpose_multiply(std::span<const double> x, std::span<double> y) const;
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve the small dense SPD system A x = b by Gaussian elimination with
+/// partial pivoting; intended for estimation-sized systems (n <= ~10).
+[[nodiscard]] std::vector<double> solve_dense(DenseMatrix a, std::vector<double> b);
+
+}  // namespace ebem::la

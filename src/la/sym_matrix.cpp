@@ -1,0 +1,34 @@
+#include "src/la/sym_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ebem::la {
+
+void SymMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  assert(x.size() == n_ && y.size() == n_);
+  std::fill(y.begin(), y.end(), 0.0);
+  // Walk the packed triangle once, scattering both (i,j) and (j,i).
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    double yi = 0.0;
+    const double xi = x[i];
+    for (std::size_t j = 0; j < i; ++j, ++k) {
+      const double a = data_[k];
+      yi += a * x[j];
+      y[j] += a * xi;
+    }
+    yi += data_[k++] * xi;  // diagonal
+    y[i] += yi;
+  }
+}
+
+std::vector<double> SymMatrix::diagonal() const {
+  std::vector<double> diag(n_);
+  for (std::size_t i = 0; i < n_; ++i) diag[i] = (*this)(i, i);
+  return diag;
+}
+
+void SymMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+}  // namespace ebem::la

@@ -1,0 +1,49 @@
+// Dense symmetric matrix in packed lower-triangular storage.
+//
+// The Galerkin BEM system matrix is dense, symmetric and positive definite
+// (paper §4.2); packed storage halves the memory footprint, which is the
+// same trade the paper makes when it assembles only the M(M+1)/2 triangle.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ebem::la {
+
+class SymMatrix {
+ public:
+  SymMatrix() = default;
+  explicit SymMatrix(std::size_t n) : n_(n), data_(n * (n + 1) / 2, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// Element access; (i, j) and (j, i) alias the same storage.
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return data_[index(i, j)];
+  }
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) { return data_[index(i, j)]; }
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Diagonal entries, used by the Jacobi preconditioner.
+  [[nodiscard]] std::vector<double> diagonal() const;
+
+  [[nodiscard]] std::span<const double> packed() const { return data_; }
+  [[nodiscard]] std::span<double> packed() { return data_; }
+
+  void set_zero();
+
+ private:
+  // Packed lower-triangle (row-major) index of (i, j) with i >= j.
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const {
+    if (i < j) std::swap(i, j);
+    return i * (i + 1) / 2 + j;
+  }
+
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ebem::la

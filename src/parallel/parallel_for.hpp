@@ -1,0 +1,49 @@
+// parallel_for with OpenMP schedule semantics over a persistent thread pool.
+//
+// This is the loop engine the assembly and post-processing stages use; the
+// schedule vocabulary matches the paper's Table 6.2 study exactly.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/parallel/schedule.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+namespace ebem::par {
+
+/// Half-open iteration chunk [begin, end).
+struct ChunkRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+/// The chunks a static schedule assigns to `thread_id`, in execution order.
+/// Exposed for testing and for the schedule simulator (the simulator must
+/// partition identically to the real executor).
+[[nodiscard]] std::vector<ChunkRange> static_chunks_for_thread(std::size_t n,
+                                                               std::size_t num_threads,
+                                                               std::size_t thread_id,
+                                                               std::size_t chunk);
+
+/// Next guided chunk size given remaining iterations (OpenMP rule:
+/// remaining / num_threads, floored at the minimum chunk, >= 1).
+[[nodiscard]] std::size_t guided_chunk_size(std::size_t remaining, std::size_t num_threads,
+                                            std::size_t min_chunk);
+
+/// Run body(i) for i in [0, n) on `pool` under `schedule`.
+void parallel_for(ThreadPool& pool, std::size_t n, const Schedule& schedule,
+                  const std::function<void(std::size_t)>& body);
+
+/// Chunked variant: body(range, thread_id) receives whole chunks, which lets
+/// callers keep per-thread scratch state without false sharing.
+void parallel_for_chunks(ThreadPool& pool, std::size_t n, const Schedule& schedule,
+                         const std::function<void(ChunkRange, std::size_t)>& body);
+
+/// Convenience: one-shot pool of `num_threads`.
+void parallel_for(std::size_t num_threads, std::size_t n, const Schedule& schedule,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace ebem::par

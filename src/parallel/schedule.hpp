@@ -1,0 +1,38 @@
+// Loop-scheduling policy vocabulary, mirroring the OpenMP `schedule` clause
+// the paper studies in Table 6.2 (static / dynamic / guided, each with an
+// optional chunk parameter).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ebem::par {
+
+enum class ScheduleKind {
+  kStatic,   ///< iterations pre-partitioned into round-robin chunks
+  kDynamic,  ///< threads grab the next chunk as they finish one
+  kGuided,   ///< dynamic with exponentially decreasing chunk sizes
+};
+
+struct Schedule {
+  ScheduleKind kind = ScheduleKind::kDynamic;
+  /// Chunk size; 0 selects the OpenMP default (static: even block split,
+  /// dynamic: 1, guided: minimum chunk of 1).
+  std::size_t chunk = 1;
+
+  [[nodiscard]] static Schedule static_chunked(std::size_t chunk) {
+    return {ScheduleKind::kStatic, chunk};
+  }
+  [[nodiscard]] static Schedule static_blocked() { return {ScheduleKind::kStatic, 0}; }
+  [[nodiscard]] static Schedule dynamic(std::size_t chunk = 1) {
+    return {ScheduleKind::kDynamic, chunk};
+  }
+  [[nodiscard]] static Schedule guided(std::size_t chunk = 1) {
+    return {ScheduleKind::kGuided, chunk};
+  }
+};
+
+/// "Dynamic,1"-style label matching the paper's Table 6.2 rows.
+[[nodiscard]] std::string to_string(const Schedule& schedule);
+
+}  // namespace ebem::par

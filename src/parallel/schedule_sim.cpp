@@ -1,0 +1,100 @@
+#include "src/parallel/schedule_sim.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "src/common/error.hpp"
+#include "src/parallel/parallel_for.hpp"
+
+namespace ebem::par {
+
+namespace {
+
+double chunk_cost(std::span<const double> costs, ChunkRange range) {
+  double sum = 0.0;
+  for (std::size_t i = range.begin; i < range.end; ++i) sum += costs[i];
+  return sum;
+}
+
+SimResult simulate_static(std::span<const double> costs, std::size_t num_threads,
+                          std::size_t chunk, const SimOptions& options) {
+  SimResult result;
+  result.thread_busy_time.assign(num_threads, 0.0);
+  for (std::size_t tid = 0; tid < num_threads; ++tid) {
+    for (const ChunkRange& range :
+         static_chunks_for_thread(costs.size(), num_threads, tid, chunk)) {
+      result.thread_busy_time[tid] += chunk_cost(costs, range) + options.per_chunk_overhead;
+      ++result.chunks_dispatched;
+    }
+  }
+  result.makespan =
+      *std::max_element(result.thread_busy_time.begin(), result.thread_busy_time.end());
+  return result;
+}
+
+/// Greedy list scheduling: the thread that becomes free first takes the next
+/// chunk in iteration order — exactly what a dynamic/guided runtime does.
+SimResult simulate_greedy(std::span<const double> costs, std::size_t num_threads,
+                          const Schedule& schedule, const SimOptions& options) {
+  SimResult result;
+  result.thread_busy_time.assign(num_threads, 0.0);
+
+  using Entry = std::pair<double, std::size_t>;  // (available time, tid)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  for (std::size_t tid = 0; tid < num_threads; ++tid) queue.push({0.0, tid});
+
+  const std::size_t n = costs.size();
+  const std::size_t min_chunk = std::max<std::size_t>(schedule.chunk, 1);
+  std::size_t next = 0;
+  while (next < n) {
+    const auto [time, tid] = queue.top();
+    queue.pop();
+    std::size_t size = min_chunk;
+    if (schedule.kind == ScheduleKind::kGuided) {
+      size = guided_chunk_size(n - next, num_threads, min_chunk);
+    }
+    const ChunkRange range{next, std::min(next + size, n)};
+    next = range.end;
+    const double finish = time + chunk_cost(costs, range) + options.per_chunk_overhead;
+    result.thread_busy_time[tid] = finish;
+    ++result.chunks_dispatched;
+    queue.push({finish, tid});
+  }
+  result.makespan =
+      *std::max_element(result.thread_busy_time.begin(), result.thread_busy_time.end());
+  return result;
+}
+
+}  // namespace
+
+SimResult simulate_schedule(std::span<const double> task_costs, std::size_t num_threads,
+                            const Schedule& schedule, const SimOptions& options) {
+  EBEM_EXPECT(num_threads >= 1, "need at least one thread");
+  if (task_costs.empty()) {
+    SimResult result;
+    result.thread_busy_time.assign(num_threads, 0.0);
+    return result;
+  }
+  if (schedule.kind == ScheduleKind::kStatic) {
+    return simulate_static(task_costs, num_threads, schedule.chunk, options);
+  }
+  return simulate_greedy(task_costs, num_threads, schedule, options);
+}
+
+double simulated_speedup(std::span<const double> task_costs, std::size_t num_threads,
+                         const Schedule& schedule, const SimOptions& options) {
+  const double sequential =
+      std::accumulate(task_costs.begin(), task_costs.end(), 0.0);
+  if (sequential == 0.0) return 1.0;
+  const SimResult sim = simulate_schedule(task_costs, num_threads, schedule, options);
+  return sequential / sim.makespan;
+}
+
+std::vector<double> triangular_costs(std::size_t m, double unit) {
+  std::vector<double> costs(m);
+  for (std::size_t i = 0; i < m; ++i) costs[i] = unit * static_cast<double>(m - i);
+  return costs;
+}
+
+}  // namespace ebem::par

@@ -1,0 +1,78 @@
+#include "src/parallel/thread_pool.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebem::par {
+
+ThreadPool::ThreadPool(std::size_t num_threads) : num_threads_(num_threads) {
+  EBEM_EXPECT(num_threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(num_threads - 1);
+  for (std::size_t id = 1; id < num_threads; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& body) {
+  {
+    std::scoped_lock lock(mutex_);
+    body_ = &body;
+    first_exception_ = nullptr;
+    remaining_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The calling thread is thread 0.
+  try {
+    body(0);
+  } catch (...) {
+    std::scoped_lock lock(mutex_);
+    if (!first_exception_) first_exception_ = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+  if (first_exception_) std::rethrow_exception(first_exception_);
+}
+
+void ThreadPool::worker_loop(std::size_t thread_id) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || (body_ != nullptr && generation_ != seen_generation); });
+      if (stopping_) return;
+      seen_generation = generation_;
+      body = body_;
+    }
+    try {
+      (*body)(thread_id);
+    } catch (...) {
+      std::scoped_lock lock(mutex_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace ebem::par

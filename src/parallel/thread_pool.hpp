@@ -1,0 +1,54 @@
+// A minimal fork-join thread pool.
+//
+// The pool runs one "parallel region" at a time: run() hands every worker
+// the same callable with its thread id, mirroring an OpenMP parallel region.
+// Workers persist across regions to avoid thread create/join overhead in
+// repeated assembly benchmarks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ebem::par {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `num_threads` workers (>= 1). The calling thread
+  /// participates as thread 0, so only num_threads - 1 workers are spawned.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
+
+  /// Execute `body(thread_id)` on every thread (ids 0..num_threads-1) and
+  /// wait for all of them. Exceptions thrown by workers are rethrown on the
+  /// calling thread (first one wins).
+  void run(const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop(std::size_t thread_id);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_exception_;
+};
+
+/// Hardware concurrency, never reporting less than 1.
+[[nodiscard]] std::size_t hardware_threads();
+
+}  // namespace ebem::par

@@ -1,0 +1,46 @@
+#include "src/post/contour.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace ebem::post {
+
+void write_contour_csv(std::ostream& os, const PotentialEvaluator::SurfaceGrid& grid) {
+  os << "x,y,potential\n";
+  for (std::size_t j = 0; j < grid.ny; ++j) {
+    for (std::size_t i = 0; i < grid.nx; ++i) {
+      const double x = grid.x0 + grid.dx * static_cast<double>(i);
+      const double y = grid.y0 + grid.dy * static_cast<double>(j);
+      os << x << ',' << y << ',' << grid.at(i, j) << '\n';
+    }
+  }
+}
+
+std::string ascii_contour(const PotentialEvaluator::SurfaceGrid& grid, std::size_t max_width) {
+  EBEM_EXPECT(max_width >= 8, "contour width too small");
+  const auto [min_it, max_it] = std::minmax_element(grid.values.begin(), grid.values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  const double span = hi > lo ? hi - lo : 1.0;
+  static constexpr char kBands[] = " .:-=+*#%@";
+
+  // Downsample columns if the grid is wider than the terminal budget.
+  const std::size_t stride = std::max<std::size_t>(1, grid.nx / max_width);
+  std::ostringstream os;
+  // Render top row last so +y points up in the terminal.
+  for (std::size_t j = grid.ny; j-- > 0;) {
+    for (std::size_t i = 0; i < grid.nx; i += stride) {
+      const double t = (grid.at(i, j) - lo) / span;
+      const auto band = static_cast<std::size_t>(t * 9.999);
+      os << kBands[std::min<std::size_t>(band, 9)];
+    }
+    os << '\n';
+  }
+  os << "bands: ' '=" << lo << " .. '@'=" << hi << " (V)\n";
+  return os.str();
+}
+
+}  // namespace ebem::post

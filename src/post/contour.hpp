@@ -1,0 +1,23 @@
+// Contour output for surface-potential grids (Figs. 5.2 and 5.4).
+//
+// Two renderers: CSV (x, y, V) for external plotting, and a terminal ASCII
+// contour map so the figure benches show the potential "bowl" directly in
+// their logs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/post/surface_potential.hpp"
+
+namespace ebem::post {
+
+/// Write the grid as "x,y,potential" rows.
+void write_contour_csv(std::ostream& os, const PotentialEvaluator::SurfaceGrid& grid);
+
+/// Render the grid as an ASCII contour map: each cell shows the potential
+/// band (0-9 deciles of [min, max]); electrodes appear as the high bands.
+[[nodiscard]] std::string ascii_contour(const PotentialEvaluator::SurfaceGrid& grid,
+                                        std::size_t max_width = 72);
+
+}  // namespace ebem::post

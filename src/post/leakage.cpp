@@ -1,0 +1,63 @@
+#include "src/post/leakage.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+
+namespace ebem::post {
+
+std::vector<ElementLeakage> element_leakage(const bem::BemModel& model,
+                                            const bem::AnalysisResult& result,
+                                            bem::BasisKind basis) {
+  EBEM_EXPECT(result.sigma.size() == model.dof_count(basis),
+              "solution size does not match the model");
+  std::vector<ElementLeakage> leakage;
+  leakage.reserve(model.element_count());
+  for (std::size_t e = 0; e < model.element_count(); ++e) {
+    const bem::BemElement& element = model.elements()[e];
+    ElementLeakage entry;
+    entry.element = e;
+    if (basis == bem::BasisKind::kLinear) {
+      // Linear lambda over the element: mean of the nodal values.
+      entry.mean_line_density =
+          0.5 * (result.sigma[element.node_a] + result.sigma[element.node_b]);
+    } else {
+      entry.mean_line_density = result.sigma[e];
+    }
+    entry.surface_density = entry.mean_line_density / (2.0 * kPi * element.radius);
+    entry.current = entry.mean_line_density * element.length;
+    entry.midpoint = 0.5 * (element.a + element.b);
+    entry.layer = element.layer;
+    leakage.push_back(entry);
+  }
+  return leakage;
+}
+
+LeakageStats leakage_stats(const bem::BemModel& model,
+                           const std::vector<ElementLeakage>& leakage) {
+  EBEM_EXPECT(!leakage.empty(), "no leakage entries");
+  LeakageStats stats;
+  stats.min_line_density = leakage.front().mean_line_density;
+  stats.max_line_density = leakage.front().mean_line_density;
+  stats.layer_current_fraction.assign(model.soil().layer_count(), 0.0);
+  double total_length = 0.0;
+  double weighted = 0.0;
+  for (const ElementLeakage& entry : leakage) {
+    stats.total_current += entry.current;
+    stats.layer_current_fraction[entry.layer] += entry.current;
+    if (entry.mean_line_density > stats.max_line_density) {
+      stats.max_line_density = entry.mean_line_density;
+      stats.hottest_element = entry.element;
+    }
+    stats.min_line_density = std::min(stats.min_line_density, entry.mean_line_density);
+    const double length = model.elements()[entry.element].length;
+    total_length += length;
+    weighted += entry.mean_line_density * length;
+  }
+  stats.mean_line_density = weighted / total_length;
+  for (double& fraction : stats.layer_current_fraction) fraction /= stats.total_current;
+  return stats;
+}
+
+}  // namespace ebem::post

@@ -1,0 +1,49 @@
+// Leakage-current-density post-processing (paper eq. 2.2 / 4.1).
+//
+// The solved sigma_i are the nodal (or per-element) leakage currents per
+// unit axial length [A/m]; design reviews look at where the electrode works
+// hardest: edge and corner conductors leak the most (the classical edge
+// effect), and rods reaching a conductive layer carry disproportionate
+// current. This module derives per-element densities, surface current
+// densities on the conductor wall, and the distribution statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/bem/analysis.hpp"
+#include "src/bem/element.hpp"
+
+namespace ebem::post {
+
+/// Leakage summary for one boundary element.
+struct ElementLeakage {
+  std::size_t element = 0;
+  double mean_line_density = 0.0;     ///< average lambda over the element [A/m]
+  double surface_density = 0.0;       ///< sigma on the wall, lambda/(2 pi a) [A/m^2]
+  double current = 0.0;               ///< total current leaked by the element [A]
+  geom::Vec3 midpoint;
+  std::size_t layer = 0;
+};
+
+struct LeakageStats {
+  double total_current = 0.0;   ///< sum over elements = I_Gamma [A]
+  double min_line_density = 0.0;
+  double max_line_density = 0.0;
+  double mean_line_density = 0.0;  ///< length-weighted mean [A/m]
+  std::size_t hottest_element = 0; ///< element with the largest line density
+  /// Current fraction leaked per soil layer (sums to 1).
+  std::vector<double> layer_current_fraction;
+};
+
+/// Per-element leakage from a solved analysis (constant basis: the element
+/// value; linear basis: the mean of its nodal values).
+[[nodiscard]] std::vector<ElementLeakage> element_leakage(const bem::BemModel& model,
+                                                          const bem::AnalysisResult& result,
+                                                          bem::BasisKind basis);
+
+/// Distribution statistics over the element leakage set.
+[[nodiscard]] LeakageStats leakage_stats(const bem::BemModel& model,
+                                         const std::vector<ElementLeakage>& leakage);
+
+}  // namespace ebem::post

@@ -1,0 +1,62 @@
+// Grounding-design safety parameters per IEEE Std 80 (paper refs [1, 2]).
+//
+// Touch voltage: GPR minus the surface potential at a reachable point.
+// Step voltage: surface-potential difference between two points 1 m apart.
+// Mesh voltage: the worst touch voltage over the grid area.
+// Tolerable limits use the Dalziel body-current criterion with the
+// surface-layer derating factor C_s.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/post/surface_potential.hpp"
+
+namespace ebem::post {
+
+/// Tolerable-limit inputs (IEEE Std 80-2000, clauses 8.3-8.4).
+struct SafetyCriteria {
+  double fault_duration = 0.5;          ///< t_s [s]
+  double body_weight_50kg = true;       ///< 50 kg (k=0.116) vs 70 kg (k=0.157)
+  double surface_resistivity = 0.0;     ///< rho_s of crushed-rock layer [Ohm m]; 0 = none
+  double surface_layer_thickness = 0.1; ///< h_s [m]
+  double soil_resistivity = 100.0;      ///< native soil rho at the surface [Ohm m]
+};
+
+/// Surface-layer derating factor C_s (IEEE Std 80 eq. 27).
+[[nodiscard]] double derating_factor(const SafetyCriteria& criteria);
+
+/// Maximum tolerable touch voltage E_touch [V].
+[[nodiscard]] double tolerable_touch_voltage(const SafetyCriteria& criteria);
+
+/// Maximum tolerable step voltage E_step [V].
+[[nodiscard]] double tolerable_step_voltage(const SafetyCriteria& criteria);
+
+struct SafetyAssessment {
+  double gpr = 0.0;
+  double max_touch_voltage = 0.0;  ///< over the sampled area
+  double max_step_voltage = 0.0;   ///< over sampled 1 m spans
+  double tolerable_touch = 0.0;
+  double tolerable_step = 0.0;
+  geom::Vec3 worst_touch_point;
+  geom::Vec3 worst_step_point;
+
+  [[nodiscard]] bool touch_safe() const { return max_touch_voltage <= tolerable_touch; }
+  [[nodiscard]] bool step_safe() const { return max_step_voltage <= tolerable_step; }
+};
+
+/// Evaluate touch and step voltages over a rectangular surface patch sampled
+/// nx x ny, with the given GPR. Step voltages are probed along +x and +y
+/// 1 m spans from each sample.
+[[nodiscard]] SafetyAssessment assess_safety(const PotentialEvaluator& evaluator, double gpr,
+                                             double x0, double x1, double y0, double y1,
+                                             std::size_t nx, std::size_t ny,
+                                             const SafetyCriteria& criteria);
+
+/// Mesh voltage: the maximum touch voltage inside the grid area (IEEE Std 80
+/// calls this E_m; it governs the design in the grid interior).
+[[nodiscard]] double mesh_voltage(const PotentialEvaluator& evaluator, double gpr, double x0,
+                                  double x1, double y0, double y1, std::size_t nx,
+                                  std::size_t ny);
+
+}  // namespace ebem::post

@@ -1,0 +1,95 @@
+#include "src/post/surface_potential.hpp"
+
+#include "src/common/error.hpp"
+#include "src/parallel/parallel_for.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/soil/kernel_factory.hpp"
+
+namespace ebem::post {
+
+namespace {
+
+bem::IntegratorOptions evaluator_integrator_options(const bem::BemModel& model,
+                                                    const PotentialOptions& options) {
+  bem::IntegratorOptions integrator = options.integrator;
+  if (model.soil().layer_count() > 2) {
+    integrator.inner = bem::InnerIntegration::kSubtracted;
+  }
+  return integrator;
+}
+
+}  // namespace
+
+PotentialEvaluator::PotentialEvaluator(const bem::BemModel& model, std::vector<double> sigma,
+                                       const PotentialOptions& options)
+    : model_(model),
+      sigma_(std::move(sigma)),
+      options_(options),
+      kernel_(soil::make_kernel(model.soil(), options.series, options.hankel)),
+      integrator_(*kernel_, evaluator_integrator_options(model, options)) {
+  EBEM_EXPECT(sigma_.size() == model.dof_count(options.integrator.basis),
+              "sigma size does not match the model's DoF count");
+}
+
+double PotentialEvaluator::at(geom::Vec3 x) const {
+  const bem::BasisKind basis = options_.integrator.basis;
+  const std::size_t locals = model_.local_dof_count(basis);
+  double v = 0.0;
+  for (std::size_t e = 0; e < model_.element_count(); ++e) {
+    const auto influence = integrator_.potential_influence(x, model_.elements()[e]);
+    for (std::size_t q = 0; q < locals; ++q) {
+      v += influence[q] * sigma_[model_.global_dof(basis, e, q)];
+    }
+  }
+  return v;
+}
+
+std::vector<double> PotentialEvaluator::at(const std::vector<geom::Vec3>& points) const {
+  std::vector<double> values(points.size(), 0.0);
+  if (points.empty()) return values;
+  if (options_.num_threads <= 1) {
+    for (std::size_t p = 0; p < points.size(); ++p) values[p] = at(points[p]);
+    return values;
+  }
+  par::ThreadPool pool(options_.num_threads);
+  par::parallel_for(pool, points.size(), options_.schedule,
+                    [&](std::size_t p) { values[p] = at(points[p]); });
+  return values;
+}
+
+PotentialEvaluator::SurfaceGrid PotentialEvaluator::surface_grid(double x0, double x1, double y0,
+                                                                 double y1, std::size_t nx,
+                                                                 std::size_t ny) const {
+  EBEM_EXPECT(nx >= 2 && ny >= 2, "surface grid needs at least 2x2 samples");
+  EBEM_EXPECT(x1 > x0 && y1 > y0, "surface grid bounds must be increasing");
+  SurfaceGrid grid;
+  grid.x0 = x0;
+  grid.y0 = y0;
+  grid.nx = nx;
+  grid.ny = ny;
+  grid.dx = (x1 - x0) / static_cast<double>(nx - 1);
+  grid.dy = (y1 - y0) / static_cast<double>(ny - 1);
+  std::vector<geom::Vec3> points;
+  points.reserve(nx * ny);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      points.push_back({x0 + grid.dx * static_cast<double>(i),
+                        y0 + grid.dy * static_cast<double>(j), 0.0});
+    }
+  }
+  grid.values = at(points);
+  return grid;
+}
+
+std::vector<double> PotentialEvaluator::profile(geom::Vec3 a, geom::Vec3 b, std::size_t n) const {
+  EBEM_EXPECT(n >= 2, "profile needs at least two samples");
+  std::vector<geom::Vec3> points;
+  points.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(n - 1);
+    points.push_back(a + t * (b - a));
+  }
+  return at(points);
+}
+
+}  // namespace ebem::post

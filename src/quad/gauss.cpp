@@ -1,0 +1,81 @@
+#include "src/quad/gauss.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+
+namespace ebem::quad {
+
+namespace {
+
+/// Evaluate the Legendre polynomial P_n and its derivative at x via the
+/// standard three-term recurrence.
+struct LegendreEval {
+  double value;
+  double derivative;
+};
+
+LegendreEval legendre(std::size_t n, double x) {
+  double p_prev = 1.0;  // P_0
+  double p = x;         // P_1
+  if (n == 0) return {p_prev, 0.0};
+  for (std::size_t k = 2; k <= n; ++k) {
+    const double kd = static_cast<double>(k);
+    const double p_next = ((2.0 * kd - 1.0) * x * p - (kd - 1.0) * p_prev) / kd;
+    p_prev = p;
+    p = p_next;
+  }
+  // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1)
+  const double nd = static_cast<double>(n);
+  const double derivative = nd * (x * p - p_prev) / (x * x - 1.0);
+  return {p, derivative};
+}
+
+}  // namespace
+
+Rule gauss_legendre(std::size_t n) {
+  EBEM_EXPECT(n >= 1, "Gauss-Legendre order must be at least 1");
+  Rule rule;
+  rule.nodes.resize(n);
+  rule.weights.resize(n);
+  if (n == 1) {
+    rule.nodes[0] = 0.0;
+    rule.weights[0] = 2.0;
+    return rule;
+  }
+  // Roots come in +/- pairs; solve for the positive half and mirror.
+  const std::size_t half = (n + 1) / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    // Chebyshev-like initial guess for the i-th root (descending).
+    double x = std::cos(kPi * (static_cast<double>(i) + 0.75) / (static_cast<double>(n) + 0.5));
+    LegendreEval eval{};
+    for (int iter = 0; iter < 100; ++iter) {
+      eval = legendre(n, x);
+      const double dx = eval.value / eval.derivative;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    eval = legendre(n, x);
+    const double weight = 2.0 / ((1.0 - x * x) * eval.derivative * eval.derivative);
+    rule.nodes[i] = -x;  // ascending order
+    rule.nodes[n - 1 - i] = x;
+    rule.weights[i] = weight;
+    rule.weights[n - 1 - i] = weight;
+  }
+  if (n % 2 == 1) rule.nodes[n / 2] = 0.0;
+  return rule;
+}
+
+const Rule& cached_gauss_legendre(std::size_t n) {
+  static std::mutex mutex;
+  static std::map<std::size_t, Rule> cache;
+  std::scoped_lock lock(mutex);
+  auto it = cache.find(n);
+  if (it == cache.end()) it = cache.emplace(n, gauss_legendre(n)).first;
+  return it->second;
+}
+
+}  // namespace ebem::quad

@@ -1,0 +1,42 @@
+// Gauss–Legendre quadrature of arbitrary order.
+//
+// Rules are generated at run time by Newton iteration on the Legendre
+// three-term recurrence (no tabulated coefficients), then cached. An n-point
+// rule integrates polynomials of degree 2n-1 exactly on [-1, 1]; the BEM
+// integrator maps rules onto element parameter ranges.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ebem::quad {
+
+/// Nodes and weights of a quadrature rule on the reference interval [-1, 1].
+struct Rule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+
+  [[nodiscard]] std::size_t size() const { return nodes.size(); }
+};
+
+/// Compute the n-point Gauss–Legendre rule on [-1, 1]. n must be >= 1.
+[[nodiscard]] Rule gauss_legendre(std::size_t n);
+
+/// Cached access to gauss_legendre(n); safe for concurrent readers once
+/// warmed, and lazily warmed under a mutex otherwise.
+[[nodiscard]] const Rule& cached_gauss_legendre(std::size_t n);
+
+/// Integrate `f` over [a, b] with the n-point Gauss–Legendre rule.
+template <typename F>
+[[nodiscard]] double integrate(const F& f, double a, double b, std::size_t n) {
+  const Rule& rule = cached_gauss_legendre(n);
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rule.size(); ++i) {
+    sum += rule.weights[i] * f(mid + half * rule.nodes[i]);
+  }
+  return half * sum;
+}
+
+}  // namespace ebem::quad

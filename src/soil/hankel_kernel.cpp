@@ -1,0 +1,203 @@
+#include "src/soil/hankel_kernel.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+#include "src/la/dense_matrix.hpp"
+#include "src/quad/gauss.hpp"
+
+namespace ebem::soil {
+
+namespace {
+constexpr double kInfiniteDepth = std::numeric_limits<double>::infinity();
+}
+
+HankelKernel::HankelKernel(const LayeredSoil& soil, const HankelOptions& options)
+    : soil_(soil), options_(options) {
+  EBEM_EXPECT(options.tolerance > 0.0, "tolerance must be positive");
+  EBEM_EXPECT(options.lambda_cut > 0.0, "lambda cut must be positive");
+  const std::size_t c_count = soil_.layer_count();
+  tops_.resize(c_count);
+  bottoms_.resize(c_count);
+  double depth = 0.0;
+  for (std::size_t c = 0; c < c_count; ++c) {
+    tops_[c] = depth;
+    if (c + 1 < c_count) {
+      depth = soil_.interface_depth(c);
+      bottoms_[c] = depth;
+    } else {
+      bottoms_[c] = kInfiniteDepth;
+    }
+  }
+}
+
+double HankelKernel::spectral_coefficient(double lambda, double z_source,
+                                          std::size_t source_layer, double z_field,
+                                          std::size_t field_layer) const {
+  const std::size_t c_count = soil_.layer_count();
+  const std::size_t n = 2 * c_count - 1;  // up_c for all layers, dn_c for all but last
+
+  // Unknown layout: up_c at 2c, dn_c at 2c+1 (last layer has no dn).
+  const auto up_index = [](std::size_t c) { return 2 * c; };
+  const auto dn_index = [](std::size_t c) { return 2 * c + 1; };
+
+  // Scaled basis: V_c(z) = up_c e^{lambda (z + top_c)} + dn_c e^{-lambda (z + bottom_c)}
+  // keeps every matrix entry in [-1, 1] regardless of lambda (no overflow).
+  const auto up_factor = [&](std::size_t c, double z) { return std::exp(lambda * (z + tops_[c])); };
+  const auto dn_factor = [&](std::size_t c, double z) {
+    return std::exp(-lambda * (z + bottoms_[c]));
+  };
+  const auto source_term = [&](std::size_t c, double z) {
+    return c == source_layer ? std::exp(-lambda * std::abs(z - z_source)) : 0.0;
+  };
+  // dS/dz divided by lambda.
+  const auto source_slope = [&](std::size_t c, double z) {
+    if (c != source_layer) return 0.0;
+    const double sign = z >= z_source ? -1.0 : 1.0;
+    return sign * std::exp(-lambda * std::abs(z - z_source));
+  };
+
+  la::DenseMatrix a(n, n);
+  std::vector<double> rhs(n, 0.0);
+  std::size_t row = 0;
+
+  // Surface Neumann condition at z = 0 (divided by lambda).
+  a(row, up_index(0)) = up_factor(0, 0.0);
+  if (c_count > 1) a(row, dn_index(0)) = -dn_factor(0, 0.0);
+  rhs[row] = -source_slope(0, 0.0);
+  ++row;
+
+  // Interface conditions.
+  for (std::size_t c = 0; c + 1 < c_count; ++c) {
+    const double z = -bottoms_[c];
+    const bool next_has_dn = (c + 2 < c_count);
+    // Potential continuity: V_c(z) = V_{c+1}(z).
+    a(row, up_index(c)) = up_factor(c, z);
+    a(row, dn_index(c)) = dn_factor(c, z);
+    a(row, up_index(c + 1)) = -up_factor(c + 1, z);
+    if (next_has_dn) a(row, dn_index(c + 1)) = -dn_factor(c + 1, z);
+    rhs[row] = source_term(c + 1, z) - source_term(c, z);
+    ++row;
+    // Flux continuity: gamma_c V_c'(z) = gamma_{c+1} V_{c+1}'(z) (over lambda).
+    const double g0 = soil_.conductivity(c);
+    const double g1 = soil_.conductivity(c + 1);
+    a(row, up_index(c)) = g0 * up_factor(c, z);
+    a(row, dn_index(c)) = -g0 * dn_factor(c, z);
+    a(row, up_index(c + 1)) = -g1 * up_factor(c + 1, z);
+    if (next_has_dn) a(row, dn_index(c + 1)) = g1 * dn_factor(c + 1, z);
+    rhs[row] = g1 * source_slope(c + 1, z) - g0 * source_slope(c, z);
+    ++row;
+  }
+  EBEM_ENSURE(row == n, "boundary system row count mismatch");
+
+  const std::vector<double> coeffs = la::solve_dense(std::move(a), std::move(rhs));
+
+  double value = coeffs[up_index(field_layer)] * up_factor(field_layer, z_field);
+  if (field_layer + 1 < c_count) {
+    value += coeffs[dn_index(field_layer)] * dn_factor(field_layer, z_field);
+  }
+  return value;
+}
+
+double HankelKernel::evaluate(geom::Vec3 x, geom::Vec3 xi) const {
+  const double rho = std::sqrt(square(x.x - xi.x) + square(x.y - xi.y));
+  return evaluate_rho(rho, x.z, xi.z);
+}
+
+double HankelKernel::evaluate_regularized(geom::Vec3 x, geom::Vec3 xi, double radius) const {
+  const double rho =
+      std::sqrt(square(x.x - xi.x) + square(x.y - xi.y) + square(radius));
+  return evaluate_rho(rho, x.z, xi.z);
+}
+
+double HankelKernel::evaluate_rho(double rho, double z_field, double z_source) const {
+  EBEM_EXPECT(z_field <= 0.0 && z_source < 0.0, "points must be at or below the surface");
+  const std::size_t b = soil_.layer_of(z_source);
+  const std::size_t c = soil_.layer_of(z_field);
+  const geom::Vec3 x{rho, 0.0, z_field};
+  const geom::Vec3 xi{0.0, 0.0, z_source};
+  const double prefactor = 1.0 / (4.0 * kPi * soil_.conductivity(b));
+
+  double direct = 0.0;
+  if (b == c) {
+    direct = 1.0 / std::sqrt(square(rho) + square(x.z - xi.z));
+  }
+
+  // Secondary-potential decay scale: the slowest mode is the reflection
+  // with the smallest vertical gap — the surface image (|z| + |z_s|) or an
+  // interface image (|2D - |z| - |z_s|| for interface depth D). Points close
+  // to an interface make that gap small and the spectrum wide.
+  const double depth_sum = std::abs(x.z) + std::abs(xi.z);
+  double zeta = depth_sum;
+  for (std::size_t i = 0; i + 1 < soil_.layer_count(); ++i) {
+    const double gap = std::abs(2.0 * soil_.interface_depth(i) - depth_sum);
+    if (gap > 0.0) zeta = std::min(zeta, gap);
+  }
+  zeta = std::max(zeta, 1e-2);
+  const double lambda_max = options_.lambda_cut / zeta;
+
+  // Panel width resolves the J0 oscillation; sharp spectral features (the
+  // ~(1 - kappa)/(2H) peak near lambda = 0 when layers contrast strongly)
+  // are handled by adaptive refinement inside each panel.
+  double width = lambda_max / 16.0;
+  if (rho > 0.0) width = std::min(width, kPi / rho);
+
+  const quad::Rule& coarse = quad::cached_gauss_legendre(10);
+  const quad::Rule& fine = quad::cached_gauss_legendre(20);
+  const auto integrand = [&](double lambda) {
+    const double f = spectral_coefficient(lambda, xi.z, b, x.z, c);
+    return rho > 0.0 ? f * std::cyl_bessel_j(0.0, lambda * rho) : f;
+  };
+  const auto quadrature = [&](const quad::Rule& rule, double a0, double b0) {
+    const double mid = 0.5 * (a0 + b0);
+    const double half = 0.5 * (b0 - a0);
+    double sum = 0.0;
+    for (std::size_t q = 0; q < rule.size(); ++q) {
+      sum += rule.weights[q] * integrand(mid + half * rule.nodes[q]);
+    }
+    return half * sum;
+  };
+  // Adaptive bisection: accept a span once G20 agrees with G10.
+  std::size_t panels_used = 0;
+  const std::function<double(double, double, double, int)> refine =
+      [&](double a0, double b0, double abs_tol, int depth) -> double {
+    const double g10 = quadrature(coarse, a0, b0);
+    const double g20 = quadrature(fine, a0, b0);
+    ++panels_used;
+    if (std::abs(g20 - g10) <= abs_tol || depth >= 24 ||
+        panels_used >= options_.max_panels) {
+      return g20;
+    }
+    const double mid = 0.5 * (a0 + b0);
+    return refine(a0, mid, 0.5 * abs_tol, depth + 1) +
+           refine(mid, b0, 0.5 * abs_tol, depth + 1);
+  };
+
+  double integral = 0.0;
+  double tail = 0.0;
+  std::size_t quiet_panels = 0;
+  for (double a0 = 0.0; a0 < lambda_max && panels_used < options_.max_panels; a0 += width) {
+    const double b0 = std::min(a0 + width, lambda_max);
+    // Tolerance scale: the accumulated integral or direct term when
+    // available; otherwise the panel's own coarse estimate (cross-layer
+    // kernels have no direct term and start from integral = 0).
+    const double rough = std::abs(quadrature(coarse, a0, b0));
+    const double scale = std::max({std::abs(integral), direct, rough, 1e-300});
+    const double panel_sum = refine(a0, b0, options_.tolerance * scale, 0);
+    integral += panel_sum;
+    tail = std::abs(panel_sum);
+    if (tail < options_.tolerance * std::max({std::abs(integral), direct, 1e-300})) {
+      if (++quiet_panels >= 3) break;
+    } else {
+      quiet_panels = 0;
+    }
+  }
+
+  return prefactor * (direct + integral);
+}
+
+}  // namespace ebem::soil

@@ -1,0 +1,120 @@
+#include "src/soil/image_series.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+
+namespace ebem::soil {
+
+ImageKernel::ImageKernel(const LayeredSoil& soil, const SeriesOptions& options)
+    : soil_(soil), options_(options) {
+  EBEM_EXPECT(options.tolerance > 0.0 && options.tolerance < 1.0,
+              "series tolerance must be in (0, 1)");
+  EBEM_EXPECT(options.max_reflections >= 1, "need at least one reflection");
+  if (soil_.layer_count() == 1) {
+    build_uniform();
+  } else if (soil_.layer_count() == 2) {
+    build_two_layer();
+  } else {
+    EBEM_EXPECT(false,
+                "image-series kernel supports 1 or 2 layers; use HankelKernel for deeper stacks");
+  }
+}
+
+void ImageKernel::build_uniform() {
+  // Classical half-space result: the source plus its mirror across the
+  // insulating surface ("the series are reduced to only two summands").
+  terms_[0][0] = {{1.0, 1.0, 0.0}, {1.0, -1.0, 0.0}};
+}
+
+std::size_t ImageKernel::reflections_needed() const {
+  const double kappa = std::abs(soil_.reflection_coefficient());
+  if (kappa == 0.0) return 0;
+  // Smallest n with kappa^n < tolerance.
+  const double n = std::log(options_.tolerance) / std::log(kappa);
+  const auto needed = static_cast<std::size_t>(std::ceil(std::max(n, 0.0)));
+  return std::min(needed, options_.max_reflections);
+}
+
+void ImageKernel::build_two_layer() {
+  const double kappa = soil_.reflection_coefficient();
+  const double h = soil_.interface_depth(0);  // upper-layer thickness H
+  const std::size_t n_max = reflections_needed();
+
+  // b=0, c=0 (source and field in the upper layer).
+  {
+    auto& t = terms_[0][0];
+    t.push_back({1.0, 1.0, 0.0});   // primary
+    t.push_back({1.0, -1.0, 0.0});  // surface mirror
+    double w = 1.0;
+    for (std::size_t n = 1; n <= n_max; ++n) {
+      w *= kappa;
+      const double off = 2.0 * static_cast<double>(n) * h;
+      t.push_back({w, 1.0, off});
+      t.push_back({w, -1.0, off});
+      t.push_back({w, 1.0, -off});
+      t.push_back({w, -1.0, -off});
+    }
+  }
+  // b=0, c=1 (source above the interface, field below).
+  {
+    auto& t = terms_[0][1];
+    double w = 1.0 + kappa;
+    for (std::size_t n = 0; n <= n_max; ++n) {
+      const double off = 2.0 * static_cast<double>(n) * h;
+      t.push_back({w, 1.0, off});
+      t.push_back({w, -1.0, off});
+      w *= kappa;
+    }
+  }
+  // b=1, c=0 (source below the interface, field above).
+  {
+    auto& t = terms_[1][0];
+    double w = 1.0 - kappa;
+    for (std::size_t n = 0; n <= n_max; ++n) {
+      const double off = 2.0 * static_cast<double>(n) * h;
+      t.push_back({w, 1.0, -off});
+      t.push_back({w, -1.0, off});
+      w *= kappa;
+    }
+  }
+  // b=1, c=1 (source and field in the lower layer).
+  {
+    auto& t = terms_[1][1];
+    t.push_back({1.0, 1.0, 0.0});                // primary
+    t.push_back({-kappa, -1.0, -2.0 * h});       // mirror across the interface
+    double w = 1.0 - kappa * kappa;
+    for (std::size_t n = 0; n <= n_max; ++n) {
+      t.push_back({w, -1.0, 2.0 * static_cast<double>(n) * h});
+      w *= kappa;
+    }
+  }
+}
+
+const std::vector<ImageTerm>& ImageKernel::terms(std::size_t b, std::size_t c) const {
+  EBEM_EXPECT(b < soil_.layer_count() && c < soil_.layer_count(), "layer index out of range");
+  return terms_[b][c];
+}
+
+double ImageKernel::prefactor(std::size_t b) const {
+  return 1.0 / (4.0 * kPi * soil_.conductivity(b));
+}
+
+double ImageKernel::evaluate(geom::Vec3 x, geom::Vec3 xi) const {
+  return evaluate_regularized(x, xi, 0.0);
+}
+
+double ImageKernel::evaluate_regularized(geom::Vec3 x, geom::Vec3 xi, double radius) const {
+  const std::size_t b = soil_.layer_of(xi.z);
+  const std::size_t c = soil_.layer_of(x.z);
+  const double rho2 = square(x.x - xi.x) + square(x.y - xi.y) + square(radius);
+  double sum = 0.0;
+  for (const ImageTerm& term : terms(b, c)) {
+    const double z_image = term.mirror * xi.z + term.offset;
+    sum += term.weight / std::sqrt(rho2 + square(x.z - z_image));
+  }
+  return prefactor(b) * sum;
+}
+
+}  // namespace ebem::soil

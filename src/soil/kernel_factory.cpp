@@ -1,0 +1,13 @@
+#include "src/soil/kernel_factory.hpp"
+
+namespace ebem::soil {
+
+std::unique_ptr<PointKernel> make_kernel(const LayeredSoil& soil, const SeriesOptions& series,
+                                         const HankelOptions& hankel) {
+  if (soil.layer_count() <= 2) {
+    return std::make_unique<ImageKernel>(soil, series);
+  }
+  return std::make_unique<HankelKernel>(soil, hankel);
+}
+
+}  // namespace ebem::soil

@@ -1,0 +1,20 @@
+// Kernel selection: image series for 1-2 layers, spectral (Hankel) kernel
+// for deeper stacks.
+#pragma once
+
+#include <memory>
+
+#include "src/soil/hankel_kernel.hpp"
+#include "src/soil/image_series.hpp"
+#include "src/soil/point_kernel.hpp"
+
+namespace ebem::soil {
+
+/// Build the natural kernel for the soil model: the closed-form image
+/// series when it exists (1 or 2 layers), otherwise the numerical Hankel
+/// kernel. The returned kernel is what the BEM integrator consumes.
+[[nodiscard]] std::unique_ptr<PointKernel> make_kernel(const LayeredSoil& soil,
+                                                       const SeriesOptions& series = {},
+                                                       const HankelOptions& hankel = {});
+
+}  // namespace ebem::soil

@@ -1,0 +1,29 @@
+// Abstract point Green's function interface.
+//
+// The BEM integrator consumes kernels through this interface so the fast
+// two-layer image series and the general C-layer Hankel kernel are
+// interchangeable: grids in 1-2 layer soils assemble with closed-form inner
+// integrals over images, deeper stacks fall back to generic quadrature of
+// the (much more expensive) spectral kernel — mirroring the paper's remark
+// that three-and-more-layer models push CPU time "up to un-admissible
+// levels" (§4.2).
+#pragma once
+
+#include "src/geom/vec3.hpp"
+#include "src/soil/soil_model.hpp"
+
+namespace ebem::soil {
+
+class PointKernel {
+ public:
+  virtual ~PointKernel() = default;
+
+  /// Potential at x per unit point current at xi, thin-wire regularized
+  /// (r -> sqrt(r^2 + radius^2)), including the 1/(4 pi gamma_b) prefactor.
+  [[nodiscard]] virtual double evaluate_regularized(geom::Vec3 x, geom::Vec3 xi,
+                                                    double radius) const = 0;
+
+  [[nodiscard]] virtual const LayeredSoil& soil_model() const = 0;
+};
+
+}  // namespace ebem::soil

@@ -1,0 +1,52 @@
+#include "src/soil/soil_model.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebem::soil {
+
+LayeredSoil LayeredSoil::uniform(double conductivity) {
+  return LayeredSoil({Layer{conductivity, 0.0}});
+}
+
+LayeredSoil LayeredSoil::two_layer(double upper_conductivity, double lower_conductivity,
+                                   double upper_thickness) {
+  EBEM_EXPECT(upper_thickness > 0.0, "upper-layer thickness must be positive");
+  return LayeredSoil({Layer{upper_conductivity, upper_thickness},
+                      Layer{lower_conductivity, 0.0}});
+}
+
+LayeredSoil::LayeredSoil(std::vector<Layer> layers) : layers_(std::move(layers)) {
+  EBEM_EXPECT(!layers_.empty(), "soil model needs at least one layer");
+  double depth = 0.0;
+  for (std::size_t c = 0; c < layers_.size(); ++c) {
+    EBEM_EXPECT(layers_[c].conductivity > 0.0, "layer conductivity must be positive");
+    if (c + 1 < layers_.size()) {
+      EBEM_EXPECT(layers_[c].thickness > 0.0, "inner layer thickness must be positive");
+      depth += layers_[c].thickness;
+      interface_depths_.push_back(depth);
+    }
+  }
+}
+
+std::size_t LayeredSoil::layer_of(double z) const {
+  EBEM_EXPECT(z <= 1e-12, "soil points must have z <= 0 (below the surface)");
+  const double depth = -z;
+  for (std::size_t c = 0; c < interface_depths_.size(); ++c) {
+    if (depth <= interface_depths_[c]) return c;
+  }
+  return layers_.size() - 1;
+}
+
+double LayeredSoil::interface_depth(std::size_t c) const {
+  EBEM_EXPECT(c + 1 < layers_.size(), "interface index out of range");
+  return interface_depths_[c];
+}
+
+double LayeredSoil::reflection_coefficient() const {
+  EBEM_EXPECT(layers_.size() == 2, "reflection coefficient is a two-layer quantity");
+  const double g1 = layers_[0].conductivity;
+  const double g2 = layers_[1].conductivity;
+  return (g1 - g2) / (g1 + g2);
+}
+
+}  // namespace ebem::soil

@@ -1,0 +1,106 @@
+// Design-search ladder: goals drive the chosen design.
+#include <gtest/gtest.h>
+
+#include "src/cad/design_search.hpp"
+#include "src/common/error.hpp"
+
+namespace ebem::cad {
+namespace {
+
+DesignSearchOptions site_30x20() {
+  DesignSearchOptions options;
+  options.site_x = 30.0;
+  options.site_y = 20.0;
+  options.samples_x = 7;
+  options.samples_y = 5;
+  return options;
+}
+
+TEST(DesignSearch, TrivialGoalSatisfiedImmediately) {
+  DesignGoal goal;
+  goal.gpr = 100.0;  // tiny fault: everything is safe
+  goal.max_resistance = 1e300;
+  goal.criteria.surface_resistivity = 2500.0;
+  const DesignSearchResult result =
+      search_design(soil::LayeredSoil::uniform(0.02), goal, site_30x20());
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_EQ(result.history.size(), 1u);
+  EXPECT_EQ(result.chosen.rods, 0u);
+}
+
+TEST(DesignSearch, ResistanceGoalForcesStrongerDesigns) {
+  DesignGoal goal;
+  goal.gpr = 100.0;
+  goal.criteria.surface_resistivity = 2500.0;
+  // Find the baseline resistance, then demand ~15% better.
+  DesignGoal baseline = goal;
+  const DesignSearchResult first =
+      search_design(soil::LayeredSoil::uniform(0.02), baseline, site_30x20());
+  goal.max_resistance = 0.85 * first.chosen.resistance;
+  const DesignSearchResult result =
+      search_design(soil::LayeredSoil::uniform(0.02), goal, site_30x20());
+  EXPECT_TRUE(result.satisfied);
+  EXPECT_GT(result.history.size(), 1u);
+  EXPECT_LE(result.chosen.resistance, goal.max_resistance);
+  // Every earlier candidate failed the goal.
+  for (std::size_t i = 0; i + 1 < result.history.size(); ++i) {
+    EXPECT_FALSE(result.history[i].satisfied);
+  }
+}
+
+TEST(DesignSearch, ResistanceDecreasesAlongTheLadder) {
+  DesignGoal goal;
+  goal.gpr = 100.0;
+  goal.max_resistance = 0.0;  // unreachable: walk the whole ladder
+  goal.require_touch_safe = false;
+  goal.require_step_safe = false;
+  DesignSearchOptions options = site_30x20();
+  options.max_steps = 5;
+  const DesignSearchResult result =
+      search_design(soil::LayeredSoil::two_layer(0.005, 0.05, 1.5), goal, options);
+  EXPECT_FALSE(result.satisfied);
+  ASSERT_EQ(result.history.size(), 5u);
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_LT(result.history[i].resistance, result.history[i - 1].resistance) << i;
+  }
+  // Later steps add rods.
+  EXPECT_GT(result.history.back().rods, 0u);
+}
+
+TEST(DesignSearch, UnsafeGprNeedsMoreThanTheMinimalMesh) {
+  DesignGoal goal;
+  goal.gpr = 4e3;
+  goal.criteria.fault_duration = 0.5;
+  goal.criteria.soil_resistivity = 200.0;
+  goal.criteria.surface_resistivity = 2500.0;
+  DesignSearchOptions options = site_30x20();
+  options.max_steps = 8;
+  const DesignSearchResult result =
+      search_design(soil::LayeredSoil::two_layer(0.005, 0.02, 1.0), goal, options);
+  EXPECT_GT(result.history.size(), 1u);
+  if (result.satisfied) {
+    EXPECT_LE(result.chosen.max_touch, post::tolerable_touch_voltage(goal.criteria));
+  }
+}
+
+TEST(DesignSearch, ChosenGeometryMatchesCandidate) {
+  DesignGoal goal;
+  goal.gpr = 100.0;
+  const DesignSearchResult result =
+      search_design(soil::LayeredSoil::uniform(0.02), goal, site_30x20());
+  // Conductor count: bars + rods.
+  const std::size_t bars = (result.chosen.cells_y + 1) * result.chosen.cells_x +
+                           (result.chosen.cells_x + 1) * result.chosen.cells_y;
+  EXPECT_EQ(result.conductors.size(), bars + result.chosen.rods);
+  EXPECT_NE(result.chosen.label().find("mesh"), std::string::npos);
+}
+
+TEST(DesignSearch, Validation) {
+  DesignGoal goal;
+  DesignSearchOptions bad;
+  EXPECT_THROW((void)search_design(soil::LayeredSoil::uniform(0.02), goal, bad),
+               ebem::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebem::cad

@@ -1,0 +1,115 @@
+// Finite-difference validator: independent cross-check of the BEM and of
+// the paper's "domain discretization is out of range" claim.
+#include <gtest/gtest.h>
+
+#include "src/bem/analysis.hpp"
+#include "src/common/error.hpp"
+#include "src/fdm/fd_solver.hpp"
+#include "src/geom/mesh.hpp"
+
+namespace ebem::fdm {
+namespace {
+
+double bem_req(const std::vector<geom::Conductor>& conductors, const soil::LayeredSoil& soil) {
+  geom::MeshOptions mesh_options;
+  mesh_options.target_element_length = 1.0;
+  const auto split = bem::split_at_interfaces(conductors, soil);
+  const bem::BemModel model(geom::Mesh::build(split, mesh_options), soil);
+  return bem::analyze(model, {}).equivalent_resistance;
+}
+
+TEST(FdValidator, ThickRodMatchesBemUniformSoil) {
+  // A 0.5 m-radius rod is resolvable by the FD lattice; agreement here is
+  // limited by box truncation and the node-line electrode representation.
+  const std::vector<geom::Conductor> rod{{{0, 0, -0.5}, {0, 0, -8.5}, 0.5}};
+  const auto soil = soil::LayeredSoil::uniform(0.01);
+  FdOptions options;
+  options.padding = 40.0;
+  options.cells_x = 48;
+  options.cells_y = 48;
+  options.cells_z = 36;
+  const FdResult fd = solve_grounding(rod, soil, options);
+  ASSERT_TRUE(fd.converged);
+  const double bem = bem_req(rod, soil);
+  EXPECT_NEAR(fd.equivalent_resistance, bem, 0.12 * bem);
+}
+
+TEST(FdValidator, TwoLayerSoilSupported) {
+  // Same rod, lower layer 5x more conductive: both solvers must see the
+  // drop, and agree within validation tolerance.
+  const std::vector<geom::Conductor> rod{{{0, 0, -0.5}, {0, 0, -8.5}, 0.5}};
+  const auto uniform = soil::LayeredSoil::uniform(0.01);
+  const auto layered = soil::LayeredSoil::two_layer(0.01, 0.05, 3.0);
+  FdOptions options;
+  options.padding = 40.0;
+  options.cells_x = 48;
+  options.cells_y = 48;
+  options.cells_z = 36;
+  const FdResult fd_uniform = solve_grounding(rod, uniform, options);
+  const FdResult fd_layered = solve_grounding(rod, layered, options);
+  EXPECT_LT(fd_layered.equivalent_resistance, fd_uniform.equivalent_resistance);
+  const double bem = bem_req(rod, layered);
+  EXPECT_NEAR(fd_layered.equivalent_resistance, bem, 0.15 * bem);
+}
+
+TEST(FdValidator, RefinementBehavesLikeShrinkingEffectiveRadius) {
+  // At a fixed box, the rod is represented by its nearest node line whose
+  // effective radius scales with the cell size: refining the lattice makes
+  // the effective conductor thinner, so Req rises monotonically, staying
+  // within a broad band of the BEM value throughout.
+  const std::vector<geom::Conductor> rod{{{0, 0, -0.5}, {0, 0, -6.5}, 0.5}};
+  const auto soil = soil::LayeredSoil::uniform(0.02);
+  const double bem = bem_req(rod, soil);
+  double previous = 0.0;
+  for (std::size_t cells : {24u, 36u, 48u}) {
+    FdOptions options;
+    options.padding = 30.0;
+    options.cells_x = cells;
+    options.cells_y = cells;
+    options.cells_z = (3 * cells) / 4;
+    const FdResult fd = solve_grounding(rod, soil, options);
+    EXPECT_GT(fd.equivalent_resistance, previous) << cells;
+    EXPECT_NEAR(fd.equivalent_resistance, bem, 0.25 * bem) << cells;
+    previous = fd.equivalent_resistance;
+  }
+}
+
+TEST(FdValidator, ReportsProblemSize) {
+  const std::vector<geom::Conductor> rod{{{0, 0, -0.5}, {0, 0, -4.5}, 0.5}};
+  FdOptions options;
+  options.cells_x = 24;
+  options.cells_y = 24;
+  options.cells_z = 16;
+  const FdResult fd = solve_grounding(rod, soil::LayeredSoil::uniform(0.01), options);
+  EXPECT_GT(fd.unknowns, 5000u);
+  EXPECT_GT(fd.electrode_nodes, 0u);
+  EXPECT_GT(fd.cg_iterations, 10u);
+  EXPECT_GT(fd.total_current, 0.0);
+}
+
+TEST(FdValidator, ConductivityScaling) {
+  // Req scales exactly with 1/gamma on a fixed lattice.
+  const std::vector<geom::Conductor> rod{{{0, 0, -0.5}, {0, 0, -4.5}, 0.5}};
+  FdOptions options;
+  options.cells_x = 24;
+  options.cells_y = 24;
+  options.cells_z = 16;
+  const FdResult base = solve_grounding(rod, soil::LayeredSoil::uniform(0.01), options);
+  const FdResult scaled = solve_grounding(rod, soil::LayeredSoil::uniform(0.04), options);
+  EXPECT_NEAR(scaled.equivalent_resistance, base.equivalent_resistance / 4.0,
+              1e-6 * base.equivalent_resistance);
+}
+
+TEST(FdValidator, InputValidation) {
+  const std::vector<geom::Conductor> rod{{{0, 0, -0.5}, {0, 0, -4.5}, 0.5}};
+  const auto soil = soil::LayeredSoil::uniform(0.01);
+  EXPECT_THROW((void)solve_grounding({}, soil), ebem::InvalidArgument);
+  FdOptions coarse;
+  coarse.cells_x = 4;
+  EXPECT_THROW((void)solve_grounding(rod, soil, coarse), ebem::InvalidArgument);
+  const std::vector<geom::Conductor> air{{{0, 0, 1.0}, {0, 0, 2.0}, 0.5}};
+  EXPECT_THROW((void)solve_grounding(air, soil), ebem::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebem::fdm

@@ -1,0 +1,163 @@
+// Graded (unequal-spacing) and L-shaped grid builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bem/analysis.hpp"
+#include "src/common/error.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/post/leakage.hpp"
+
+namespace ebem::geom {
+namespace {
+
+TEST(GradedPartition, UniformWhenGradingIsOne) {
+  const std::vector<double> nodes = graded_partition(10.0, 4, 1.0);
+  ASSERT_EQ(nodes.size(), 5u);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_NEAR(nodes[i], 2.5 * static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(GradedPartition, EndpointsExactAndMonotone) {
+  for (double grading : {0.5, 1.0, 2.0, 4.0}) {
+    const std::vector<double> nodes = graded_partition(37.5, 7, grading);
+    EXPECT_DOUBLE_EQ(nodes.front(), 0.0);
+    EXPECT_DOUBLE_EQ(nodes.back(), 37.5);
+    for (std::size_t i = 1; i < nodes.size(); ++i) EXPECT_GT(nodes[i], nodes[i - 1]);
+  }
+}
+
+TEST(GradedPartition, GradingCompressesEdges) {
+  const std::vector<double> nodes = graded_partition(10.0, 5, 3.0);
+  const double edge_cell = nodes[1] - nodes[0];
+  const double center_cell = nodes[3] - nodes[2];
+  EXPECT_GT(center_cell, 2.0 * edge_cell);
+  // Symmetric: last cell equals first cell.
+  EXPECT_NEAR(nodes[5] - nodes[4], edge_cell, 1e-12);
+}
+
+TEST(GradedPartition, Validation) {
+  EXPECT_THROW((void)graded_partition(0.0, 4, 1.0), ebem::InvalidArgument);
+  EXPECT_THROW((void)graded_partition(10.0, 0, 1.0), ebem::InvalidArgument);
+  EXPECT_THROW((void)graded_partition(10.0, 4, 0.0), ebem::InvalidArgument);
+}
+
+TEST(GradedGrid, MatchesUniformGridWhenGradingIsOne) {
+  GradedRectGridSpec graded;
+  graded.length_x = 40.0;
+  graded.length_y = 30.0;
+  graded.cells_x = 4;
+  graded.cells_y = 3;
+  graded.grading = 1.0;
+  RectGridSpec uniform;
+  uniform.length_x = 40.0;
+  uniform.length_y = 30.0;
+  uniform.cells_x = 4;
+  uniform.cells_y = 3;
+  const auto a = make_graded_rect_grid(graded);
+  const auto b = make_rect_grid(uniform);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_NEAR(total_length(a), total_length(b), 1e-9);
+}
+
+TEST(GradedGrid, SameConductorCountAndTotalLengthAsUniform) {
+  GradedRectGridSpec spec;
+  spec.length_x = 40.0;
+  spec.length_y = 40.0;
+  spec.cells_x = 5;
+  spec.cells_y = 5;
+  spec.grading = 2.5;
+  const auto graded = make_graded_rect_grid(spec);
+  RectGridSpec uniform;
+  uniform.length_x = 40.0;
+  uniform.length_y = 40.0;
+  uniform.cells_x = 5;
+  uniform.cells_y = 5;
+  // Same topology, same total conductor length: grading is free material.
+  EXPECT_EQ(graded.size(), make_rect_grid(uniform).size());
+  EXPECT_NEAR(total_length(graded), total_length(make_rect_grid(uniform)), 1e-9);
+}
+
+TEST(GradedGrid, GradingEvensOutLeakageDensity) {
+  // The engineering point of unequal spacing: the leakage-density spread
+  // (max/mean) shrinks relative to the uniform grid.
+  const auto soil = soil::LayeredSoil::uniform(0.02);
+  const auto spread = [&](double grading) {
+    GradedRectGridSpec spec;
+    spec.length_x = 40.0;
+    spec.length_y = 40.0;
+    spec.cells_x = 5;
+    spec.cells_y = 5;
+    spec.grading = grading;
+    const bem::BemModel model(Mesh::build(make_graded_rect_grid(spec)), soil);
+    const bem::AnalysisResult result = bem::analyze(model, {});
+    const auto leakage = post::element_leakage(model, result, bem::BasisKind::kLinear);
+    const post::LeakageStats stats = post::leakage_stats(model, leakage);
+    return stats.max_line_density / stats.mean_line_density;
+  };
+  EXPECT_LT(spread(2.5), spread(1.0));
+}
+
+TEST(LShapedGrid, CountsAndClipping) {
+  LShapedGridSpec spec;
+  spec.length_x = 40.0;
+  spec.length_y = 40.0;
+  spec.cut_x = 20.0;
+  spec.cut_y = 20.0;
+  spec.cells_x = 4;
+  spec.cells_y = 4;
+  const auto grid = make_l_shaped_grid(spec);
+  // Full 4x4 grid has 40 pieces; the cut removes the 2x2 corner's interior
+  // pieces. No piece midpoint may lie inside the cut.
+  RectGridSpec full;
+  full.length_x = 40.0;
+  full.length_y = 40.0;
+  full.cells_x = 4;
+  full.cells_y = 4;
+  EXPECT_LT(grid.size(), make_rect_grid(full).size());
+  for (const Conductor& c : grid) {
+    const Vec3 mid = c.midpoint();
+    EXPECT_FALSE(mid.x > 20.0 + 1e-9 && mid.y > 20.0 + 1e-9)
+        << mid.x << "," << mid.y;
+  }
+}
+
+TEST(LShapedGrid, MeshesAndSolves) {
+  LShapedGridSpec spec;
+  spec.length_x = 30.0;
+  spec.length_y = 30.0;
+  spec.cut_x = 15.0;
+  spec.cut_y = 15.0;
+  spec.cells_x = 3;
+  spec.cells_y = 3;
+  const auto grid = make_l_shaped_grid(spec);
+  const bem::BemModel model(Mesh::build(grid), soil::LayeredSoil::uniform(0.02));
+  const bem::AnalysisResult result = bem::analyze(model, {});
+  EXPECT_GT(result.equivalent_resistance, 0.0);
+  // The L covers 3/4 of the square's area: Req sits above the full square's.
+  RectGridSpec full;
+  full.length_x = 30.0;
+  full.length_y = 30.0;
+  full.cells_x = 3;
+  full.cells_y = 3;
+  const bem::BemModel full_model(Mesh::build(make_rect_grid(full)),
+                                 soil::LayeredSoil::uniform(0.02));
+  EXPECT_GT(result.equivalent_resistance,
+            bem::analyze(full_model, {}).equivalent_resistance);
+}
+
+TEST(LShapedGrid, Validation) {
+  LShapedGridSpec spec;
+  spec.length_x = 30.0;
+  spec.length_y = 30.0;
+  spec.cut_x = 35.0;  // cut larger than the grid
+  spec.cut_y = 15.0;
+  spec.cells_x = 3;
+  spec.cells_y = 3;
+  EXPECT_THROW((void)make_l_shaped_grid(spec), ebem::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebem::geom

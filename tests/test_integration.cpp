@@ -1,0 +1,129 @@
+// Integration tests: the paper's evaluation cases end to end.
+//
+// Absolute agreement with the paper is not expected (the exact CAD plans are
+// not published; DESIGN.md §4.2) — but the reproduced values land close and
+// every qualitative ordering the paper reports must hold.
+#include <gtest/gtest.h>
+
+#include "src/cad/cases.hpp"
+#include "src/cad/grounding_system.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/post/surface_potential.hpp"
+
+namespace ebem::cad {
+namespace {
+
+double analyze_req(const std::vector<geom::Conductor>& conductors,
+                   const soil::LayeredSoil& soil, double series_tolerance = 1e-6) {
+  DesignOptions options;
+  options.analysis.gpr = 10e3;
+  options.analysis.assembly.series.tolerance = series_tolerance;
+  GroundingSystem system(conductors, soil, options);
+  return system.analyze().equivalent_resistance;
+}
+
+class BalaidosSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { case_ = new BalaidosCase(balaidos_case()); }
+  static void TearDownTestSuite() {
+    delete case_;
+    case_ = nullptr;
+  }
+  static BalaidosCase* case_;
+};
+BalaidosCase* BalaidosSuite::case_ = nullptr;
+
+TEST_F(BalaidosSuite, ModelAReproducesTable51) {
+  // Paper Table 5.1: A = 0.3366 Ohm, 29.71 kA.
+  const double req = analyze_req(case_->conductors, case_->soil_a);
+  EXPECT_NEAR(req, 0.3366, 0.05 * 0.3366);
+}
+
+TEST_F(BalaidosSuite, ModelBReproducesTable51) {
+  // Paper Table 5.1: B = 0.3522 Ohm, 28.39 kA.
+  const double req = analyze_req(case_->conductors, case_->soil_b);
+  EXPECT_NEAR(req, 0.3522, 0.05 * 0.3522);
+}
+
+TEST_F(BalaidosSuite, ModelCReproducesTable51) {
+  // Paper Table 5.1: C = 0.4860 Ohm, 20.58 kA.
+  const double req = analyze_req(case_->conductors, case_->soil_c);
+  EXPECT_NEAR(req, 0.4860, 0.05 * 0.4860);
+}
+
+TEST_F(BalaidosSuite, SoilModelOrderingHolds) {
+  // The paper's headline qualitative result: A < B < C.
+  const double a = analyze_req(case_->conductors, case_->soil_a);
+  const double b = analyze_req(case_->conductors, case_->soil_b);
+  const double c = analyze_req(case_->conductors, case_->soil_c);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST(Barbera, UniformAndTwoLayerReproduceSection51) {
+  // Coarser refinement keeps the test fast; values stay within ~10% of the
+  // paper (0.3128 uniform / 0.3704 two-layer) and the ordering is strict.
+  const BarberaCase c = barbera_case(10);
+  const double uniform = analyze_req(c.conductors, c.uniform_soil);
+  const double layered = analyze_req(c.conductors, c.two_layer_soil);
+  EXPECT_NEAR(uniform, 0.3128, 0.10 * 0.3128);
+  EXPECT_NEAR(layered, 0.3704, 0.10 * 0.3704);
+  EXPECT_GT(layered, uniform);
+}
+
+TEST(Barbera, SurfacePotentialHigherOverGridThanOutside) {
+  const BarberaCase c = barbera_case(8);
+  DesignOptions options;
+  options.analysis.gpr = 10e3;
+  GroundingSystem system(c.conductors, c.uniform_soil, options);
+  system.analyze();
+  const auto evaluator = system.potential_evaluator();
+  const double over = evaluator.at({25.0, 40.0, 0.0});    // inside the triangle
+  const double outside = evaluator.at({200.0, 200.0, 0.0});
+  EXPECT_GT(over, 3.0 * outside);
+}
+
+TEST_F(BalaidosSuite, ParallelAnalysisMatchesSequential) {
+  DesignOptions sequential;
+  sequential.analysis.assembly.series.tolerance = 1e-6;
+  GroundingSystem seq(case_->conductors, case_->soil_b, sequential);
+
+  DesignOptions parallel = sequential;
+  parallel.analysis.assembly.num_threads = 4;
+  parallel.analysis.assembly.schedule = par::Schedule::dynamic(1);
+  GroundingSystem threaded(case_->conductors, case_->soil_b, parallel);
+
+  const double r_seq = seq.analyze().equivalent_resistance;
+  const double r_par = threaded.analyze().equivalent_resistance;
+  EXPECT_DOUBLE_EQ(r_seq, r_par);
+}
+
+TEST(ConstantVsLinear, GalerkinLinearStaysStableUnderRefinement) {
+  // The motivation of paper ref [6]: cruder discretizations drift as
+  // segmentation increases; Galerkin linear stays put. We check that the
+  // two bases agree at the coarse level and that linear moves little.
+  geom::RectGridSpec spec;
+  spec.length_x = 20.0;
+  spec.length_y = 20.0;
+  spec.cells_x = 2;
+  spec.cells_y = 2;
+  const auto grid = geom::make_rect_grid(spec);
+  const auto soil = soil::LayeredSoil::uniform(0.02);
+
+  const auto run = [&](bem::BasisKind basis, double element_length) {
+    DesignOptions options;
+    options.mesh.target_element_length = element_length;
+    options.analysis.assembly.integrator.basis = basis;
+    GroundingSystem system(grid, soil, options);
+    return system.analyze().equivalent_resistance;
+  };
+
+  const double linear_coarse = run(bem::BasisKind::kLinear, 10.0);
+  const double linear_fine = run(bem::BasisKind::kLinear, 1.0);
+  const double constant_coarse = run(bem::BasisKind::kConstant, 10.0);
+  EXPECT_NEAR(constant_coarse, linear_coarse, 0.08 * linear_coarse);
+  EXPECT_NEAR(linear_fine, linear_coarse, 0.03 * linear_coarse);
+}
+
+}  // namespace
+}  // namespace ebem::cad

@@ -1,0 +1,119 @@
+// Dense parameterized cross-validation sweep of the two-layer image kernel
+// against the Hankel oracle: reflection-coefficient grid x layer-case grid.
+//
+// This is the property-style safety net for the physics core: any error in
+// an image family's weights or positions shows up somewhere on this grid
+// even if it cancels at a particular contrast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/soil/hankel_kernel.hpp"
+#include "src/soil/image_series.hpp"
+
+namespace ebem::soil {
+namespace {
+
+using geom::Vec3;
+
+struct SweepCase {
+  double kappa;        ///< target reflection coefficient
+  int source_layer;    ///< 0 upper / 1 lower
+  int field_layer;
+};
+
+class KernelSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(KernelSweep, ImageSeriesMatchesHankelOracle) {
+  const SweepCase& c = GetParam();
+  // Build a soil with the requested kappa: fix gamma_2, solve for gamma_1
+  // from kappa = (g1 - g2) / (g1 + g2).
+  const double g2 = 0.016;
+  const double g1 = g2 * (1.0 + c.kappa) / (1.0 - c.kappa);
+  const double h = 1.0;
+  const LayeredSoil soil = LayeredSoil::two_layer(g1, g2, h);
+  const ImageKernel image(soil, {1e-12, 8192});
+  const HankelKernel hankel(soil);
+
+  const Vec3 xi{0, 0, c.source_layer == 0 ? -0.6 : -1.7};
+  const Vec3 fields[] = {
+      {1.5, 0.5, c.field_layer == 0 ? -0.3 : -1.4},
+      {6.0, 0.0, c.field_layer == 0 ? -0.9 : -2.8},
+      {0.4, 0.2, c.field_layer == 0 ? -0.5 : -2.0},
+  };
+  for (const Vec3& x : fields) {
+    const double a = image.evaluate(x, xi);
+    const double b = hankel.evaluate(x, xi);
+    EXPECT_NEAR(a, b, 5e-6 * std::abs(b))
+        << "kappa=" << c.kappa << " b=" << c.source_layer << " c=" << c.field_layer
+        << " x=(" << x.x << "," << x.y << "," << x.z << ")";
+  }
+}
+
+std::vector<SweepCase> sweep() {
+  std::vector<SweepCase> cases;
+  for (double kappa : {-0.9, -0.5, -0.1, 0.1, 0.5, 0.9}) {
+    for (int b : {0, 1}) {
+      for (int c : {0, 1}) {
+        cases.push_back({kappa, b, c});
+      }
+    }
+  }
+  return cases;
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepCase>& info) {
+  const SweepCase& c = info.param;
+  std::string name = c.kappa < 0 ? "neg" : "pos";
+  name += std::to_string(static_cast<int>(std::abs(c.kappa) * 10));
+  name += "_b" + std::to_string(c.source_layer) + "c" + std::to_string(c.field_layer);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(ContrastAndLayers, KernelSweep, ::testing::ValuesIn(sweep()),
+                         sweep_name);
+
+class ReciprocitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReciprocitySweep, HoldsAcrossContrasts) {
+  const double kappa = GetParam();
+  const double g2 = 0.02;
+  const double g1 = g2 * (1.0 + kappa) / (1.0 - kappa);
+  const LayeredSoil soil = LayeredSoil::two_layer(g1, g2, 0.8);
+  const ImageKernel kernel(soil, {1e-13, 8192});
+  const Vec3 pairs[][2] = {
+      {{1, 0, -0.4}, {0, 1, -0.6}},    // both upper
+      {{1, 0, -0.4}, {0, 1, -1.6}},    // cross
+      {{2, 0, -1.1}, {0, 0, -2.6}},    // both lower
+  };
+  for (const auto& pair : pairs) {
+    const double forward = kernel.evaluate(pair[0], pair[1]);
+    const double backward = kernel.evaluate(pair[1], pair[0]);
+    EXPECT_NEAR(forward, backward, 1e-11 * std::abs(forward)) << kappa;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contrasts, ReciprocitySweep,
+                         ::testing::Values(-0.95, -0.6, -0.2, 0.2, 0.6, 0.95));
+
+class InterfaceContinuitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InterfaceContinuitySweep, PotentialContinuousAtAllContrasts) {
+  const double kappa = GetParam();
+  const double g2 = 0.02;
+  const double g1 = g2 * (1.0 + kappa) / (1.0 - kappa);
+  const LayeredSoil soil = LayeredSoil::two_layer(g1, g2, 1.2);
+  const ImageKernel kernel(soil, {1e-13, 8192});
+  for (double source_z : {-0.5, -2.0}) {
+    const Vec3 xi{0, 0, source_z};
+    const double above = kernel.evaluate({2.0, 0, -1.2 + 1e-9}, xi);
+    const double below = kernel.evaluate({2.0, 0, -1.2 - 1e-9}, xi);
+    EXPECT_NEAR(above, below, 1e-6 * std::abs(above)) << kappa << " zs=" << source_z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contrasts, InterfaceContinuitySweep,
+                         ::testing::Values(-0.9, -0.4, 0.0, 0.4, 0.9));
+
+}  // namespace
+}  // namespace ebem::soil

@@ -1,0 +1,82 @@
+// Level-1 vector kernel tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/la/blas1.hpp"
+
+namespace ebem::la {
+namespace {
+
+TEST(Blas1, DotBasic) {
+  const Vector x{1.0, 2.0, 3.0};
+  const Vector y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Blas1, DotEmptyIsZero) {
+  const Vector x, y;
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+}
+
+TEST(Blas1, AxpyAccumulates) {
+  const Vector x{1.0, 2.0};
+  Vector y{10.0, 20.0};
+  axpy(3.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(Blas1, ScalScales) {
+  Vector x{1.0, -2.0, 4.0};
+  scal(-0.5, x);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+  EXPECT_DOUBLE_EQ(x[2], -2.0);
+}
+
+TEST(Blas1, Nrm2KnownValue) {
+  const Vector x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+}
+
+TEST(Blas1, AmaxPicksLargestMagnitude) {
+  const Vector x{1.0, -7.5, 3.0};
+  EXPECT_DOUBLE_EQ(amax(x), 7.5);
+  EXPECT_DOUBLE_EQ(amax(Vector{}), 0.0);
+}
+
+TEST(Blas1, CauchySchwarzProperty) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector x(50), y(50);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = dist(rng);
+      y[i] = dist(rng);
+    }
+    EXPECT_LE(std::abs(dot(x, y)), nrm2(x) * nrm2(y) * (1.0 + 1e-12));
+  }
+}
+
+TEST(Blas1, AxpyThenDotLinearity) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  Vector x(32), y(32), z(32);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = dist(rng);
+    y[i] = dist(rng);
+    z[i] = dist(rng);
+  }
+  // dot(z, y + a x) == dot(z, y) + a dot(z, x)
+  const double a = 1.7;
+  const double lhs_base = dot(z, y);
+  const double d_zx = dot(z, x);
+  Vector y2 = y;
+  axpy(a, x, y2);
+  EXPECT_NEAR(dot(z, y2), lhs_base + a * d_zx, 1e-12 * (std::abs(lhs_base) + 1.0));
+}
+
+}  // namespace
+}  // namespace ebem::la

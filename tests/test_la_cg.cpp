@@ -1,0 +1,113 @@
+// Jacobi-preconditioned conjugate gradient tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/la/cg.hpp"
+#include "src/la/cholesky.hpp"
+
+namespace ebem::la {
+namespace {
+
+SymMatrix random_spd(std::size_t n, unsigned seed, double diag_boost) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  SymMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) a(i, j) = dist(rng);
+    a(i, i) = std::abs(a(i, i)) + diag_boost;
+  }
+  return a;
+}
+
+TEST(ConjugateGradient, SolvesIdentityInOneIteration) {
+  SymMatrix eye(5);
+  for (std::size_t i = 0; i < 5; ++i) eye(i, i) = 1.0;
+  const std::vector<double> b{1, 2, 3, 4, 5};
+  const CgResult result = conjugate_gradient(eye, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 2u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(result.x[i], b[i], 1e-12);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZeroSolution) {
+  SymMatrix a(3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 2.0;
+  const CgResult result = conjugate_gradient(a, std::vector<double>(3, 0.0));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  for (double v : result.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ConjugateGradient, EmptySystem) {
+  SymMatrix a(0);
+  const CgResult result = conjugate_gradient(a, std::vector<double>{});
+  EXPECT_TRUE(result.converged);
+}
+
+class CgSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CgSizes, MatchesCholesky) {
+  const std::size_t n = GetParam();
+  const SymMatrix a = random_spd(n, static_cast<unsigned>(n), static_cast<double>(n));
+  std::vector<double> b(n);
+  std::mt19937 rng(123);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (double& v : b) v = dist(rng);
+
+  const std::vector<double> reference = Cholesky(a).solve(b);
+  const CgResult result = conjugate_gradient(a, b, {.tolerance = 1e-13});
+  ASSERT_TRUE(result.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(result.x[i], reference[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgSizes, ::testing::Values(1, 2, 4, 8, 16, 33, 64, 100));
+
+TEST(ConjugateGradient, PreconditionerHelpsIllScaledSystem) {
+  // Badly scaled diagonal: Jacobi scaling should cut iteration counts.
+  const std::size_t n = 60;
+  SymMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = std::pow(10.0, static_cast<double>(i % 6));
+    if (i > 0) a(i, i - 1) = 0.1;
+  }
+  std::vector<double> b(n, 1.0);
+  const CgResult plain = conjugate_gradient(a, b, {.tolerance = 1e-10,
+                                                   .jacobi_preconditioner = false});
+  const CgResult jacobi = conjugate_gradient(a, b, {.tolerance = 1e-10,
+                                                    .jacobi_preconditioner = true});
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(jacobi.converged);
+  EXPECT_LT(jacobi.iterations, plain.iterations);
+}
+
+/// 1D Laplacian: SPD with condition O(n^2), so CG converges slowly —
+/// ideal for iteration-budget tests.
+SymMatrix laplacian(std::size_t n) {
+  SymMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i > 0) a(i, i - 1) = -1.0;
+  }
+  return a;
+}
+
+TEST(ConjugateGradient, ReportsNonConvergenceWithinBudget) {
+  const SymMatrix a = laplacian(50);
+  std::vector<double> b(50, 1.0);
+  const CgResult result = conjugate_gradient(a, b, {.tolerance = 1e-16, .max_iterations = 2});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 2u);
+  EXPECT_GT(result.relative_residual, 0.0);
+}
+
+TEST(ConjugateGradient, ResidualDecreasesWithMoreIterations) {
+  const SymMatrix a = laplacian(40);
+  std::vector<double> b(40, 1.0);
+  const CgResult few = conjugate_gradient(a, b, {.tolerance = 0.0, .max_iterations = 3});
+  const CgResult many = conjugate_gradient(a, b, {.tolerance = 0.0, .max_iterations = 20});
+  EXPECT_LT(many.relative_residual, few.relative_residual);
+}
+
+}  // namespace
+}  // namespace ebem::la

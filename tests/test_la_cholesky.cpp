@@ -1,0 +1,82 @@
+// Cholesky factorization tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/common/error.hpp"
+#include "src/la/cholesky.hpp"
+
+namespace ebem::la {
+namespace {
+
+SymMatrix random_spd(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  SymMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) a(i, j) = dist(rng);
+    a(i, i) = std::abs(a(i, i)) + static_cast<double>(n);  // diagonally dominant
+  }
+  return a;
+}
+
+TEST(Cholesky, SolvesIdentity) {
+  SymMatrix eye(4);
+  for (std::size_t i = 0; i < 4; ++i) eye(i, i) = 1.0;
+  const Cholesky factor(eye);
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(factor.solve(b), b);
+}
+
+TEST(Cholesky, SolvesKnown2x2) {
+  SymMatrix a(2);
+  a(0, 0) = 4.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 3.0;
+  const Cholesky factor(a);
+  const std::vector<double> x = factor.solve(std::vector<double>{10.0, 11.0});
+  // A x = b with x = (1, 3): 4+6=10, 2+9=11.
+  EXPECT_NEAR(x[0], 1.0, 1e-13);
+  EXPECT_NEAR(x[1], 3.0, 1e-13);
+}
+
+class CholeskySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizes, RoundTripRandomSpd) {
+  const std::size_t n = GetParam();
+  const SymMatrix a = random_spd(n, static_cast<unsigned>(17 + n));
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> x_true(n);
+  for (double& v : x_true) v = dist(rng);
+  std::vector<double> b(n);
+  a.multiply(x_true, b);
+  const Cholesky factor(a);
+  const std::vector<double> x = factor.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  SymMatrix a(2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{a}, InvalidArgument);
+}
+
+TEST(Cholesky, RejectsZeroMatrix) {
+  SymMatrix a(3);
+  EXPECT_THROW(Cholesky{a}, InvalidArgument);
+}
+
+TEST(Cholesky, RhsSizeMismatchThrows) {
+  SymMatrix a(2);
+  a(0, 0) = a(1, 1) = 1.0;
+  const Cholesky factor(a);
+  EXPECT_THROW(factor.solve(std::vector<double>{1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebem::la

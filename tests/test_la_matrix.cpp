@@ -1,0 +1,167 @@
+// Packed symmetric and dense matrix storage tests.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/common/error.hpp"
+#include "src/la/dense_matrix.hpp"
+#include "src/la/sym_matrix.hpp"
+
+namespace ebem::la {
+namespace {
+
+TEST(SymMatrix, StorageAliasesSymmetricEntries) {
+  SymMatrix a(3);
+  a(2, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(a(1, 2), 5.0);
+  a(0, 2) = -1.0;
+  EXPECT_DOUBLE_EQ(a(2, 0), -1.0);
+}
+
+TEST(SymMatrix, PackedSizeIsTriangular) {
+  SymMatrix a(5);
+  EXPECT_EQ(a.packed().size(), 15u);
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(SymMatrix, MultiplyMatchesExplicitForm) {
+  SymMatrix a(3);
+  a(0, 0) = 2.0;
+  a(1, 1) = 3.0;
+  a(2, 2) = 4.0;
+  a(1, 0) = 1.0;
+  a(2, 0) = -1.0;
+  a(2, 1) = 0.5;
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 * 1 + 1.0 * 2 + (-1.0) * 3);
+  EXPECT_DOUBLE_EQ(y[1], 1.0 * 1 + 3.0 * 2 + 0.5 * 3);
+  EXPECT_DOUBLE_EQ(y[2], -1.0 * 1 + 0.5 * 2 + 4.0 * 3);
+}
+
+TEST(SymMatrix, MultiplyMatchesDenseReferenceRandom) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 17;
+  SymMatrix a(n);
+  DenseMatrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = dist(rng);
+      a(i, j) = v;
+      d(i, j) = v;
+      d(j, i) = v;
+    }
+  }
+  std::vector<double> x(n);
+  for (double& v : x) v = dist(rng);
+  std::vector<double> ya(n), yd(n);
+  a.multiply(x, ya);
+  d.multiply(x, yd);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ya[i], yd[i], 1e-13);
+}
+
+TEST(SymMatrix, DiagonalExtraction) {
+  SymMatrix a(3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 2.0;
+  a(2, 2) = 3.0;
+  a(1, 0) = 9.0;
+  const std::vector<double> diag = a.diagonal();
+  EXPECT_EQ(diag, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(SymMatrix, SetZeroClears) {
+  SymMatrix a(2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a.set_zero();
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 0.0);
+}
+
+TEST(DenseMatrix, MultiplyAndTranspose) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  std::vector<double> x{1.0, 0.0, -1.0};
+  std::vector<double> y(2);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+
+  std::vector<double> z{1.0, 1.0};
+  std::vector<double> w(3);
+  a.transpose_multiply(z, w);
+  EXPECT_DOUBLE_EQ(w[0], 5.0);
+  EXPECT_DOUBLE_EQ(w[1], 7.0);
+  EXPECT_DOUBLE_EQ(w[2], 9.0);
+}
+
+TEST(DenseMatrix, TransposeTimesSelfIsSymmetricPsd) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  DenseMatrix a(8, 4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = dist(rng);
+  }
+  const DenseMatrix c = a.transpose_times_self();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(c(i, i), 0.0);
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(c(i, j), c(j, i));
+  }
+}
+
+TEST(SolveDense, RecoversKnownSolution) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const std::vector<double> x = solve_dense(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-13);
+  EXPECT_NEAR(x[1], 3.0, 1e-13);
+}
+
+TEST(SolveDense, PivotsOnZeroLeadingEntry) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const std::vector<double> x = solve_dense(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(SolveDense, RandomRoundTrip) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6;
+    DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+      a(i, i) += 4.0;  // diagonally dominant, safely invertible
+    }
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = dist(rng);
+    std::vector<double> b(n);
+    a.multiply(x_true, b);
+    const std::vector<double> x = solve_dense(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-11);
+  }
+}
+
+TEST(SolveDense, SingularThrows) {
+  DenseMatrix a(2, 2);  // all zeros
+  EXPECT_THROW(solve_dense(a, {1.0, 1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebem::la

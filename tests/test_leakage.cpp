@@ -1,0 +1,132 @@
+// Leakage-density post-processing: consistency with I_Gamma, edge effect,
+// layer splits.
+#include <gtest/gtest.h>
+
+#include "src/bem/analysis.hpp"
+#include "src/common/error.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/post/leakage.hpp"
+
+namespace ebem::post {
+namespace {
+
+struct Solved {
+  bem::BemModel model;
+  bem::AnalysisResult result;
+};
+
+Solved solve(const std::vector<geom::Conductor>& conductors, const soil::LayeredSoil& soil,
+             bem::BasisKind basis = bem::BasisKind::kLinear) {
+  const auto split = bem::split_at_interfaces(conductors, soil);
+  bem::BemModel model(geom::Mesh::build(split), soil);
+  bem::AnalysisOptions options;
+  options.assembly.integrator.basis = basis;
+  bem::AnalysisResult result = bem::analyze(model, options);
+  return {std::move(model), std::move(result)};
+}
+
+std::vector<geom::Conductor> square_grid() {
+  geom::RectGridSpec spec;
+  spec.length_x = 20.0;
+  spec.length_y = 20.0;
+  spec.cells_x = 2;
+  spec.cells_y = 2;
+  return geom::make_rect_grid(spec);
+}
+
+TEST(Leakage, ElementCurrentsSumToTotalCurrentConstantBasis) {
+  const Solved s = solve(square_grid(), soil::LayeredSoil::uniform(0.02),
+                         bem::BasisKind::kConstant);
+  const auto leakage = element_leakage(s.model, s.result, bem::BasisKind::kConstant);
+  const LeakageStats stats = leakage_stats(s.model, leakage);
+  // With piecewise-constant lambda the element sums reproduce I exactly.
+  EXPECT_NEAR(stats.total_current, s.result.total_current, 1e-9 * s.result.total_current);
+}
+
+TEST(Leakage, ElementCurrentsSumToTotalCurrentLinearBasis) {
+  const Solved s = solve(square_grid(), soil::LayeredSoil::uniform(0.02));
+  const auto leakage = element_leakage(s.model, s.result, bem::BasisKind::kLinear);
+  const LeakageStats stats = leakage_stats(s.model, leakage);
+  // Midpoint value x length integrates linear lambda exactly as well.
+  EXPECT_NEAR(stats.total_current, s.result.total_current, 1e-9 * s.result.total_current);
+}
+
+TEST(Leakage, AllDensitiesPositive) {
+  const Solved s = solve(square_grid(), soil::LayeredSoil::two_layer(0.005, 0.016, 1.0));
+  const auto leakage = element_leakage(s.model, s.result, bem::BasisKind::kLinear);
+  for (const ElementLeakage& entry : leakage) {
+    EXPECT_GT(entry.mean_line_density, 0.0);
+    EXPECT_GT(entry.surface_density, entry.mean_line_density);  // 2 pi a < 1
+  }
+}
+
+TEST(Leakage, EdgeElementsLeakMoreThanCenter) {
+  const Solved s = solve(square_grid(), soil::LayeredSoil::uniform(0.02));
+  const auto leakage = element_leakage(s.model, s.result, bem::BasisKind::kLinear);
+  // Compare the element nearest the corner with the one nearest the center.
+  double corner_density = 0.0;
+  double center_density = 1e300;
+  for (const ElementLeakage& entry : leakage) {
+    const double corner_distance = std::hypot(entry.midpoint.x, entry.midpoint.y);
+    const double center_distance =
+        std::hypot(entry.midpoint.x - 10.0, entry.midpoint.y - 10.0);
+    if (corner_distance < 6.0) corner_density = std::max(corner_density, entry.mean_line_density);
+    if (center_distance < 6.0) center_density = std::min(center_density, entry.mean_line_density);
+  }
+  EXPECT_GT(corner_density, center_density);
+}
+
+TEST(Leakage, HottestElementIsReported) {
+  const Solved s = solve(square_grid(), soil::LayeredSoil::uniform(0.02));
+  const auto leakage = element_leakage(s.model, s.result, bem::BasisKind::kLinear);
+  const LeakageStats stats = leakage_stats(s.model, leakage);
+  EXPECT_EQ(leakage[stats.hottest_element].mean_line_density, stats.max_line_density);
+  EXPECT_GE(stats.max_line_density, stats.mean_line_density);
+  EXPECT_LE(stats.min_line_density, stats.mean_line_density);
+}
+
+TEST(Leakage, LayerFractionsSumToOne) {
+  // Grid + rods crossing into the lower layer.
+  auto grid = square_grid();
+  geom::RodSpec rod;
+  rod.length = 2.0;
+  geom::add_rods(grid, {{0, 0, 0}, {20, 20, 0}}, 0.8, rod);
+  const Solved s = solve(grid, soil::LayeredSoil::two_layer(0.005, 0.05, 1.0));
+  const auto leakage = element_leakage(s.model, s.result, bem::BasisKind::kLinear);
+  const LeakageStats stats = leakage_stats(s.model, leakage);
+  ASSERT_EQ(stats.layer_current_fraction.size(), 2u);
+  EXPECT_NEAR(stats.layer_current_fraction[0] + stats.layer_current_fraction[1], 1.0, 1e-12);
+  EXPECT_GT(stats.layer_current_fraction[1], 0.0);
+}
+
+TEST(Leakage, RodsInConductiveLayerCarryDisproportionateCurrent) {
+  auto grid = square_grid();
+  geom::RodSpec rod;
+  rod.length = 3.0;
+  geom::add_rods(grid, {{0, 0, 0}, {20, 0, 0}, {0, 20, 0}, {20, 20, 0}}, 0.8, rod);
+  // Lower layer 20x more conductive: rod tips should leak far above their
+  // length share.
+  const Solved s = solve(grid, soil::LayeredSoil::two_layer(0.005, 0.1, 1.0));
+  const auto leakage = element_leakage(s.model, s.result, bem::BasisKind::kLinear);
+  const LeakageStats stats = leakage_stats(s.model, leakage);
+  double lower_length = 0.0;
+  double total_length = 0.0;
+  for (const auto& element : s.model.elements()) {
+    total_length += element.length;
+    if (element.layer == 1) lower_length += element.length;
+  }
+  const double length_share = lower_length / total_length;
+  EXPECT_GT(stats.layer_current_fraction[1], 2.0 * length_share);
+}
+
+TEST(Leakage, SizeMismatchRejected) {
+  const Solved s = solve(square_grid(), soil::LayeredSoil::uniform(0.02));
+  bem::AnalysisResult truncated = s.result;
+  truncated.sigma.pop_back();
+  EXPECT_THROW((void)element_leakage(s.model, truncated, bem::BasisKind::kLinear),
+               ebem::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebem::post

@@ -1,0 +1,121 @@
+// Mesh building: subdivision, node deduplication, connectivity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/error.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/geom/mesh.hpp"
+
+namespace ebem::geom {
+namespace {
+
+TEST(Mesh, SingleConductorSingleElement) {
+  const std::vector<Conductor> wire{{{0, 0, -1}, {5, 0, -1}, 0.01}};
+  const Mesh mesh = Mesh::build(wire);
+  EXPECT_EQ(mesh.element_count(), 1u);
+  EXPECT_EQ(mesh.node_count(), 2u);
+  EXPECT_DOUBLE_EQ(mesh.total_length(), 5.0);
+}
+
+TEST(Mesh, SubdivisionPreservesLengthAndChainsNodes) {
+  const std::vector<Conductor> wire{{{0, 0, -1}, {10, 0, -1}, 0.01}};
+  MeshOptions options;
+  options.target_element_length = 3.0;  // ceil(10/3) = 4 pieces
+  const Mesh mesh = Mesh::build(wire, options);
+  EXPECT_EQ(mesh.element_count(), 4u);
+  EXPECT_EQ(mesh.node_count(), 5u);
+  EXPECT_NEAR(mesh.total_length(), 10.0, 1e-12);
+  // Consecutive elements share a node.
+  for (std::size_t k = 0; k + 1 < mesh.element_count(); ++k) {
+    EXPECT_EQ(mesh.elements()[k].node_b, mesh.elements()[k + 1].node_a);
+  }
+}
+
+TEST(Mesh, SharedEndpointsMergeIntoOneNode) {
+  // Two wires meeting at the origin corner.
+  const std::vector<Conductor> corner{{{0, 0, -1}, {5, 0, -1}, 0.01},
+                                      {{0, 0, -1}, {0, 5, -1}, 0.01}};
+  const Mesh mesh = Mesh::build(corner);
+  EXPECT_EQ(mesh.element_count(), 2u);
+  EXPECT_EQ(mesh.node_count(), 3u);
+  EXPECT_EQ(mesh.elements()[0].node_a, mesh.elements()[1].node_a);
+}
+
+TEST(Mesh, NearbyEndpointsMergeWithinTolerance) {
+  const std::vector<Conductor> wires{{{0, 0, -1}, {5, 0, -1}, 0.01},
+                                     {{5.0000001, 0, -1}, {10, 0, -1}, 0.01}};
+  MeshOptions options;
+  options.node_merge_tolerance = 1e-5;
+  const Mesh mesh = Mesh::build(wires, options);
+  EXPECT_EQ(mesh.node_count(), 3u);
+}
+
+TEST(Mesh, DistinctEndpointsStayDistinct) {
+  const std::vector<Conductor> wires{{{0, 0, -1}, {5, 0, -1}, 0.01},
+                                     {{5.1, 0, -1}, {10, 0, -1}, 0.01}};
+  const Mesh mesh = Mesh::build(wires);
+  EXPECT_EQ(mesh.node_count(), 4u);
+}
+
+TEST(Mesh, RectGridNodeCountMatchesFormula) {
+  RectGridSpec spec;
+  spec.length_x = 40.0;
+  spec.length_y = 30.0;
+  spec.cells_x = 4;
+  spec.cells_y = 3;
+  const Mesh mesh = Mesh::build(make_rect_grid(spec));
+  // One element per conductor piece: nodes are the (nx+1)(ny+1) crossings.
+  EXPECT_EQ(mesh.node_count(), 5u * 4u);
+  EXPECT_EQ(mesh.element_count(), (3u + 1) * 4u + (4u + 1) * 3u);
+}
+
+TEST(Mesh, BarberaSizedGridMatchesPaperDiscretization) {
+  // Paper §5.1: 408 segments, 238 degrees of freedom. Our parametric
+  // triangle at the default refinement lands within a few elements/nodes.
+  TriangularGridSpec spec;
+  spec.leg_x = 89.0;
+  spec.leg_y = 143.0;
+  spec.cells_x = 15;
+  spec.cells_y = 24;
+  const Mesh mesh = Mesh::build(make_triangular_grid(spec));
+  EXPECT_NEAR(static_cast<double>(mesh.element_count()), 408.0, 30.0);
+  EXPECT_NEAR(static_cast<double>(mesh.node_count()), 238.0, 25.0);
+}
+
+TEST(Mesh, ZeroLengthConductorRejected) {
+  const std::vector<Conductor> bad{{{1, 1, -1}, {1, 1, -1}, 0.01}};
+  EXPECT_THROW(Mesh::build(bad), ebem::InvalidArgument);
+}
+
+TEST(Mesh, EmptyInputRejected) {
+  EXPECT_THROW(Mesh::build({}), ebem::InvalidArgument);
+}
+
+TEST(Mesh, MinMaxZReportBuriedRange) {
+  std::vector<Conductor> grid{{{0, 0, -0.8}, {5, 0, -0.8}, 0.01}};
+  RodSpec rod;
+  add_rods(grid, {{0, 0, 0}}, 0.8, rod);
+  const Mesh mesh = Mesh::build(grid);
+  EXPECT_DOUBLE_EQ(mesh.max_z(), -0.8);
+  EXPECT_DOUBLE_EQ(mesh.min_z(), -2.3);
+}
+
+TEST(Mesh, NodeIndicesAreDense) {
+  RectGridSpec spec;
+  spec.length_x = 20.0;
+  spec.length_y = 20.0;
+  spec.cells_x = 2;
+  spec.cells_y = 2;
+  const Mesh mesh = Mesh::build(make_rect_grid(spec));
+  std::set<std::size_t> seen;
+  for (const MeshElement& e : mesh.elements()) {
+    seen.insert(e.node_a);
+    seen.insert(e.node_b);
+  }
+  EXPECT_EQ(seen.size(), mesh.node_count());
+  EXPECT_EQ(*seen.rbegin(), mesh.node_count() - 1);
+}
+
+}  // namespace
+}  // namespace ebem::geom

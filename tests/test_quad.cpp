@@ -1,0 +1,116 @@
+// Gauss-Legendre rules: exactness, convergence, caching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.hpp"
+#include "src/common/math_utils.hpp"
+#include "src/quad/gauss.hpp"
+
+namespace ebem::quad {
+namespace {
+
+TEST(GaussLegendre, RejectsZeroOrder) { EXPECT_THROW(gauss_legendre(0), InvalidArgument); }
+
+TEST(GaussLegendre, OnePointRuleIsMidpoint) {
+  const Rule rule = gauss_legendre(1);
+  ASSERT_EQ(rule.size(), 1u);
+  EXPECT_DOUBLE_EQ(rule.nodes[0], 0.0);
+  EXPECT_DOUBLE_EQ(rule.weights[0], 2.0);
+}
+
+TEST(GaussLegendre, TwoPointRuleMatchesClassicValues) {
+  const Rule rule = gauss_legendre(2);
+  ASSERT_EQ(rule.size(), 2u);
+  EXPECT_NEAR(rule.nodes[0], -1.0 / std::sqrt(3.0), 1e-14);
+  EXPECT_NEAR(rule.nodes[1], 1.0 / std::sqrt(3.0), 1e-14);
+  EXPECT_NEAR(rule.weights[0], 1.0, 1e-14);
+  EXPECT_NEAR(rule.weights[1], 1.0, 1e-14);
+}
+
+TEST(GaussLegendre, FivePointRuleMatchesTabulated) {
+  const Rule rule = gauss_legendre(5);
+  ASSERT_EQ(rule.size(), 5u);
+  EXPECT_NEAR(rule.nodes[2], 0.0, 1e-14);
+  EXPECT_NEAR(rule.nodes[4], 0.9061798459386640, 1e-13);
+  EXPECT_NEAR(rule.weights[2], 0.5688888888888889, 1e-13);
+  EXPECT_NEAR(rule.weights[4], 0.2369268850561891, 1e-13);
+}
+
+class GaussOrder : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaussOrder, WeightsSumToTwo) {
+  const Rule rule = gauss_legendre(GetParam());
+  const double sum = std::accumulate(rule.weights.begin(), rule.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 2.0, 1e-13);
+}
+
+TEST_P(GaussOrder, NodesAscendAndLieInside) {
+  const Rule rule = gauss_legendre(GetParam());
+  for (std::size_t i = 0; i < rule.size(); ++i) {
+    EXPECT_GT(rule.nodes[i], -1.0);
+    EXPECT_LT(rule.nodes[i], 1.0);
+    if (i > 0) EXPECT_GT(rule.nodes[i], rule.nodes[i - 1]);
+  }
+}
+
+TEST_P(GaussOrder, NodesAreSymmetric) {
+  const Rule rule = gauss_legendre(GetParam());
+  const std::size_t n = rule.size();
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    EXPECT_NEAR(rule.nodes[i], -rule.nodes[n - 1 - i], 1e-14);
+    EXPECT_NEAR(rule.weights[i], rule.weights[n - 1 - i], 1e-14);
+  }
+}
+
+TEST_P(GaussOrder, IntegratesPolynomialsOfDegree2nMinus1Exactly) {
+  const std::size_t n = GetParam();
+  // Integrate x^d over [-1, 1] for every exactly-integrable degree.
+  for (std::size_t d = 0; d < 2 * n; ++d) {
+    const double numeric = integrate([&](double x) { return std::pow(x, d); }, -1.0, 1.0, n);
+    const double exact = (d % 2 == 1) ? 0.0 : 2.0 / static_cast<double>(d + 1);
+    EXPECT_NEAR(numeric, exact, 1e-12) << "order " << n << " degree " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussOrder,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 32));
+
+TEST(GaussLegendre, MappedIntervalIntegration) {
+  // integral of x^2 over [1, 4] = 21.
+  EXPECT_NEAR(integrate([](double x) { return x * x; }, 1.0, 4.0, 4), 21.0, 1e-12);
+  // Reversed interval flips the sign.
+  EXPECT_NEAR(integrate([](double x) { return x * x; }, 4.0, 1.0, 4), -21.0, 1e-12);
+}
+
+TEST(GaussLegendre, SmoothNonPolynomialConverges) {
+  // integral of sin over [0, pi] = 2; exp over [0, 1] = e - 1.
+  EXPECT_NEAR(integrate([](double x) { return std::sin(x); }, 0.0, kPi, 12), 2.0, 1e-12);
+  EXPECT_NEAR(integrate([](double x) { return std::exp(x); }, 0.0, 1.0, 12),
+              std::exp(1.0) - 1.0, 1e-12);
+}
+
+TEST(GaussLegendre, ConvergenceIsMonotoneForLogKernel) {
+  // The BEM outer integrand is log-like near the ends: 1/sqrt(x^2 + a^2)
+  // with a = 0.1 (wire radius over element length scale).
+  const auto f = [](double x) { return 1.0 / std::sqrt(x * x + 1e-2); };
+  const double exact = 2.0 * std::asinh(1.0 / 1e-1);
+  double previous_error = 1e300;
+  for (std::size_t n : {4, 8, 16, 32, 64}) {
+    const double error = std::abs(integrate(f, -1.0, 1.0, n) - exact);
+    EXPECT_LT(error, previous_error * 1.5) << n;  // allow small plateaus
+    previous_error = error;
+  }
+  EXPECT_LT(previous_error, 1e-5);
+}
+
+TEST(GaussLegendre, CacheReturnsSameRule) {
+  const Rule& a = cached_gauss_legendre(7);
+  const Rule& b = cached_gauss_legendre(7);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 7u);
+}
+
+}  // namespace
+}  // namespace ebem::quad

@@ -1,0 +1,61 @@
+// JSON report writer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/cad/grounding_system.hpp"
+#include "src/common/error.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/io/report_writer.hpp"
+
+namespace ebem::io {
+namespace {
+
+cad::Report solved_report() {
+  geom::RectGridSpec spec;
+  spec.length_x = 20.0;
+  spec.length_y = 20.0;
+  spec.cells_x = 2;
+  spec.cells_y = 2;
+  cad::DesignOptions options;
+  options.analysis.gpr = 10e3;
+  cad::GroundingSystem system(geom::make_rect_grid(spec), soil::LayeredSoil::uniform(0.02),
+                              options);
+  return system.analyze();
+}
+
+TEST(ReportWriter, EmitsAllFields) {
+  const std::string json = report_json(solved_report());
+  for (const char* key :
+       {"\"gpr_volts\"", "\"equivalent_resistance_ohm\"", "\"total_current_amps\"",
+        "\"element_count\"", "\"dof_count\"", "\"phases_cpu_seconds\"",
+        "\"matrix_generation\"", "\"linear_system_solving\"", "\"matrix_generation_share\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ReportWriter, ValuesRoundTripNumerically) {
+  const cad::Report report = solved_report();
+  const std::string json = report_json(report);
+  // Pull the resistance value back out and compare.
+  const auto pos = json.find("\"equivalent_resistance_ohm\": ");
+  ASSERT_NE(pos, std::string::npos);
+  const double parsed = std::stod(json.substr(pos + 29));
+  EXPECT_NEAR(parsed, report.equivalent_resistance, 1e-9 * report.equivalent_resistance);
+}
+
+TEST(ReportWriter, BalancedBracesAndQuotes) {
+  const std::string json = report_json(solved_report());
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), 2);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '}'), 2);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(ReportWriter, FileWriterFailsOnBadPath) {
+  EXPECT_THROW(write_report_json_file("/nonexistent-dir/report.json", solved_report()),
+               ebem::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebem::io

@@ -1,0 +1,143 @@
+// Schedule simulator: the deterministic model behind Fig. 6.1 and
+// Tables 6.2/6.3 (see DESIGN.md §4.1 for the substitution rationale).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/parallel/schedule_sim.hpp"
+
+namespace ebem::par {
+namespace {
+
+TEST(TriangularCosts, MatchesPaperLoadProfile) {
+  const std::vector<double> costs = triangular_costs(4, 2.0);
+  EXPECT_EQ(costs, (std::vector<double>{8.0, 6.0, 4.0, 2.0}));
+}
+
+TEST(ScheduleSim, OneThreadMakespanEqualsSequentialSum) {
+  const std::vector<double> costs = triangular_costs(100);
+  const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  for (const Schedule schedule : {Schedule::static_blocked(), Schedule::dynamic(1),
+                                  Schedule::guided(1), Schedule::static_chunked(16)}) {
+    const SimResult result = simulate_schedule(costs, 1, schedule);
+    EXPECT_DOUBLE_EQ(result.makespan, total);
+  }
+}
+
+TEST(ScheduleSim, EmptyTaskListIsFree) {
+  const SimResult result = simulate_schedule({}, 4, Schedule::dynamic(1));
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+  EXPECT_EQ(result.chunks_dispatched, 0u);
+}
+
+TEST(ScheduleSim, MakespanNeverBelowCriticalPathOrMeanLoad) {
+  const std::vector<double> costs = triangular_costs(408);  // Barbera's M
+  const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  for (std::size_t p : {2u, 4u, 8u, 16u, 64u}) {
+    for (const Schedule schedule :
+         {Schedule::static_blocked(), Schedule::static_chunked(1), Schedule::dynamic(1),
+          Schedule::guided(1), Schedule::dynamic(64)}) {
+      const SimResult result = simulate_schedule(costs, p, schedule);
+      EXPECT_GE(result.makespan, total / static_cast<double>(p) - 1e-9);
+      EXPECT_GE(result.makespan, costs.front() - 1e-9);  // longest single task
+    }
+  }
+}
+
+TEST(ScheduleSim, DynamicOneIsNearOptimalOnTriangularLoad) {
+  // The paper's best schedule: Dynamic,1 achieves speed-up ~= p.
+  const std::vector<double> costs = triangular_costs(408);
+  for (std::size_t p : {2u, 4u, 8u}) {
+    const double speedup = simulated_speedup(costs, p, Schedule::dynamic(1));
+    EXPECT_GT(speedup, 0.97 * static_cast<double>(p)) << p;
+    EXPECT_LE(speedup, static_cast<double>(p) + 1e-9) << p;
+  }
+}
+
+TEST(ScheduleSim, DefaultStaticSuffersOnLinearlyDecreasingCosts) {
+  // Contiguous block partition gives the first thread all the long columns:
+  // speed-up caps near total / (sum of the first block) < p. The paper's
+  // Table 6.2 "Static" row shows exactly this (4.38 at 8 processors).
+  const std::vector<double> costs = triangular_costs(408);
+  const double speedup8 = simulate_schedule(costs, 8, Schedule::static_blocked()).makespan;
+  const double ideal8 = std::accumulate(costs.begin(), costs.end(), 0.0) / 8.0;
+  EXPECT_GT(speedup8, 1.7 * ideal8);  // markedly worse than ideal
+}
+
+TEST(ScheduleSim, StaticChunkOneInterleavesWell) {
+  // Round-robin chunk 1 balances a linear profile nearly perfectly
+  // (Table 6.2: Static,1 reaches 7.99 at 8 processors).
+  const std::vector<double> costs = triangular_costs(408);
+  const double speedup = simulated_speedup(costs, 8, Schedule::static_chunked(1));
+  EXPECT_GT(speedup, 7.8);
+}
+
+TEST(ScheduleSim, LargeChunksStarveThreadsAtHighProcessorCounts) {
+  // 408 tasks, chunk 64 -> only 7 chunks; at 8 threads one thread idles and
+  // the makespan is bounded by the largest chunk ("some processors do not
+  // get any work", paper §6.2; Table 6.2 Dynamic,64 stalls at 3.55).
+  const std::vector<double> costs = triangular_costs(408);
+  const double speedup8 = simulated_speedup(costs, 8, Schedule::dynamic(64));
+  EXPECT_LT(speedup8, 4.5);
+  const double speedup4 = simulated_speedup(costs, 4, Schedule::dynamic(64));
+  EXPECT_GT(speedup4, speedup8 * 0.75);  // 4 threads suffer much less
+}
+
+TEST(ScheduleSim, GuidedTracksDynamicOnTriangularLoad) {
+  // Table 6.2 shows Guided,1 within a few percent of Dynamic,1; the
+  // remaining/(2p) chunk rule keeps the first chunk's cost below the ideal
+  // per-thread load even though early columns are the most expensive.
+  const std::vector<double> costs = triangular_costs(408);
+  for (std::size_t p : {2u, 4u, 8u}) {
+    const double guided = simulated_speedup(costs, p, Schedule::guided(1));
+    const double dynamic = simulated_speedup(costs, p, Schedule::dynamic(1));
+    EXPECT_NEAR(guided, dynamic, 0.15 * dynamic) << p;
+  }
+}
+
+TEST(ScheduleSim, SpeedupSaturatesBeyondTaskParallelism) {
+  // With M tasks the speed-up cannot exceed total/max-task regardless of p.
+  const std::vector<double> costs = triangular_costs(32);
+  const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  const double cap = total / costs.front();
+  const double speedup = simulated_speedup(costs, 64, Schedule::dynamic(1));
+  EXPECT_LE(speedup, cap + 1e-9);
+  EXPECT_GT(speedup, 0.8 * cap);
+}
+
+TEST(ScheduleSim, PerChunkOverheadPenalizesFineSchedules) {
+  const std::vector<double> costs(1000, 1.0);
+  const SimOptions overhead{.per_chunk_overhead = 0.5};
+  const double fine = simulated_speedup(costs, 4, Schedule::dynamic(1), overhead);
+  const double coarse = simulated_speedup(costs, 4, Schedule::dynamic(50), overhead);
+  EXPECT_GT(coarse, fine);
+}
+
+TEST(ScheduleSim, ChunkCountsAreExact) {
+  const std::vector<double> costs(100, 1.0);
+  EXPECT_EQ(simulate_schedule(costs, 4, Schedule::dynamic(1)).chunks_dispatched, 100u);
+  EXPECT_EQ(simulate_schedule(costs, 4, Schedule::dynamic(10)).chunks_dispatched, 10u);
+  EXPECT_EQ(simulate_schedule(costs, 4, Schedule::static_blocked()).chunks_dispatched, 4u);
+}
+
+TEST(ScheduleSim, BusyTimesAccountForAllWork) {
+  const std::vector<double> costs = triangular_costs(50);
+  const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  const SimResult result = simulate_schedule(costs, 4, Schedule::static_chunked(2));
+  const double busy =
+      std::accumulate(result.thread_busy_time.begin(), result.thread_busy_time.end(), 0.0);
+  EXPECT_NEAR(busy, total, 1e-9);
+}
+
+TEST(ScheduleSim, MoreThreadsNeverSlowerUnderDynamicOne) {
+  const std::vector<double> costs = triangular_costs(200);
+  double previous = simulate_schedule(costs, 1, Schedule::dynamic(1)).makespan;
+  for (std::size_t p : {2u, 4u, 8u, 16u, 32u}) {
+    const double makespan = simulate_schedule(costs, p, Schedule::dynamic(1)).makespan;
+    EXPECT_LE(makespan, previous + 1e-9) << p;
+    previous = makespan;
+  }
+}
+
+}  // namespace
+}  // namespace ebem::par
