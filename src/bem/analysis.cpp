@@ -1,8 +1,11 @@
 #include "src/bem/analysis.hpp"
 
+#include <optional>
+
 #include "src/common/error.hpp"
 #include "src/common/timer.hpp"
 #include "src/la/blas1.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace ebem::bem {
 
@@ -11,9 +14,26 @@ AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
   EBEM_EXPECT(options.gpr > 0.0, "GPR must be positive");
   AnalysisResult result;
 
+  // One worker pool is shared by the assembly and solve phases instead of
+  // each phase spawning (and joining) its own threads. Sharing only applies
+  // when both phases request the same worker count — a supplied pool's size
+  // takes precedence inside each phase, so handing a bigger shared pool to
+  // the smaller phase would silently override its num_threads.
+  AnalysisOptions run = options;
+  std::optional<par::ThreadPool> pool;
+  const bool assembly_wants = run.assembly.pool == nullptr && run.assembly.num_threads > 1 &&
+                              run.assembly.backend == Backend::kThreadPool;
+  const bool solver_wants = run.solver.pool == nullptr && run.solver.num_threads > 1;
+  if (assembly_wants && solver_wants &&
+      run.assembly.num_threads == run.solver.num_threads) {
+    pool.emplace(run.assembly.num_threads);
+    run.assembly.pool = &*pool;
+    run.solver.pool = &*pool;
+  }
+
   WallTimer wall;
   CpuTimer cpu;
-  AssemblyResult system = assemble(model, options.assembly);
+  AssemblyResult system = assemble(model, run.assembly);
   if (report != nullptr) {
     report->add(Phase::kMatrixGeneration, wall.seconds(), cpu.seconds());
   }
@@ -22,7 +42,7 @@ AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
   cpu.reset();
   // Normalized problem: R sigma_hat = nu with V_Gamma = 1.
   std::vector<double> sigma_hat =
-      solve(system.matrix, system.rhs, options.solver, &result.solve_stats);
+      solve(system.matrix, system.rhs, run.solver, &result.solve_stats);
   if (report != nullptr) {
     report->add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
   }

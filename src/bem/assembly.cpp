@@ -1,6 +1,9 @@
 #include "src/bem/assembly.hpp"
 
 #include <algorithm>
+#include <array>
+#include <mutex>
+#include <optional>
 
 #include "src/common/error.hpp"
 #include "src/common/timer.hpp"
@@ -13,34 +16,33 @@ namespace ebem::bem {
 
 namespace {
 
-/// Flat storage for the elemental matrices of the strict upper triangle of
-/// element pairs: column beta holds pairs (beta, beta..M-1).
-class PairStore {
+/// Concurrent accumulation view of the packed symmetric matrix: rows are
+/// hashed onto a fixed array of stripe locks. Scatters of one elemental
+/// block touch at most four entries on adjacent rows, so they almost always
+/// take a single lock; with the element-pair integration costing orders of
+/// magnitude more than the scatter, contention is negligible.
+class StripedMatrix {
  public:
-  PairStore(std::size_t m, std::size_t local_dofs) : m_(m), local_(local_dofs) {
-    offsets_.resize(m + 1);
-    std::size_t total = 0;
-    for (std::size_t beta = 0; beta <= m; ++beta) {
-      offsets_[beta] = total;
-      if (beta < m) total += m - beta;
-    }
-    blocks_.resize(total);
-  }
+  explicit StripedMatrix(la::SymMatrix& matrix)
+      : matrix_(matrix),
+        rows_per_stripe_(std::max<std::size_t>(
+            1, (matrix.size() + kStripes - 1) / kStripes)) {}
 
-  [[nodiscard]] LocalMatrix& block(std::size_t beta, std::size_t alpha) {
-    return blocks_[offsets_[beta] + (alpha - beta)];
+  void add(std::size_t j, std::size_t i, double value) {
+    const std::size_t stripe = std::max(i, j) / rows_per_stripe_;
+    const std::scoped_lock lock(stripes_[stripe].mutex);
+    matrix_(j, i) += value;
   }
-  [[nodiscard]] const LocalMatrix& block(std::size_t beta, std::size_t alpha) const {
-    return blocks_[offsets_[beta] + (alpha - beta)];
-  }
-  [[nodiscard]] std::size_t local_dofs() const { return local_; }
-  [[nodiscard]] std::size_t columns() const { return m_; }
 
  private:
-  std::size_t m_;
-  std::size_t local_;
-  std::vector<std::size_t> offsets_;
-  std::vector<LocalMatrix> blocks_;
+  static constexpr std::size_t kStripes = 64;
+  struct alignas(64) Stripe {
+    std::mutex mutex;
+  };
+
+  la::SymMatrix& matrix_;
+  std::size_t rows_per_stripe_;
+  std::array<Stripe, kStripes> stripes_;
 };
 
 /// Scatter one elemental block into the global symmetric matrix.
@@ -55,8 +57,12 @@ class PairStore {
 ///    global pair, except when the elements share a node and j == i, where
 ///    both the pair and its transpose hit the same diagonal entry — that
 ///    contribution enters twice.
+///
+/// `Sink` is either the bare SymMatrix (sequential path) or a StripedMatrix
+/// (fused streaming path); both expose add-compatible entry access.
+template <typename Sink>
 void scatter(const BemModel& model, BasisKind basis, std::size_t beta, std::size_t alpha,
-             const LocalMatrix& local, la::SymMatrix& matrix) {
+             const LocalMatrix& local, Sink&& add) {
   const std::size_t locals = model.local_dof_count(basis);
   if (beta == alpha) {
     for (std::size_t p = 0; p < locals; ++p) {
@@ -65,7 +71,7 @@ void scatter(const BemModel& model, BasisKind basis, std::size_t beta, std::size
         const std::size_t i = model.global_dof(basis, alpha, q);
         // Symmetrize: the analytic-inner/Gauss-outer split introduces a tiny
         // quadrature-level asymmetry the Galerkin form does not have.
-        matrix(j, i) += 0.5 * (local.value[p][q] + local.value[q][p]);
+        add(j, i, 0.5 * (local.value[p][q] + local.value[q][p]));
       }
     }
     return;
@@ -74,7 +80,7 @@ void scatter(const BemModel& model, BasisKind basis, std::size_t beta, std::size
     const std::size_t j = model.global_dof(basis, beta, p);
     for (std::size_t q = 0; q < locals; ++q) {
       const std::size_t i = model.global_dof(basis, alpha, q);
-      matrix(j, i) += (j == i) ? 2.0 * local.value[p][q] : local.value[p][q];
+      add(j, i, (j == i) ? 2.0 * local.value[p][q] : local.value[p][q]);
     }
   }
 }
@@ -118,64 +124,59 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options) {
   result.rhs = build_rhs(model, basis);
   result.element_pairs = m * (m + 1) / 2;
 
-  const bool sequential = options.num_threads == 1 && !options.measure_column_costs;
+  const bool sequential =
+      options.num_threads == 1 && options.pool == nullptr && !options.measure_column_costs;
   if (sequential) {
     // Original sequential scheme: compute and assemble inside the loop.
     for (std::size_t beta = 0; beta < m; ++beta) {
       for (std::size_t alpha = beta; alpha < m; ++alpha) {
         const LocalMatrix local = integrator.element_pair(elements[beta], elements[alpha]);
-        scatter(model, basis, beta, alpha, local, result.matrix);
+        scatter(model, basis, beta, alpha, local,
+                [&](std::size_t j, std::size_t i, double v) { result.matrix(j, i) += v; });
       }
     }
     return result;
   }
 
-  // Two-phase scheme (paper §6.2): elemental matrices are computed into
-  // per-pair storage in parallel, then assembled sequentially.
-  PairStore store(m, model.local_dof_count(basis));
+  // Fused streaming scheme: each worker computes an elemental matrix and
+  // immediately accumulates it into the global matrix through the stripe
+  // locks — no per-pair storage, no serial scatter pass. With one thread
+  // this degenerates to the sequential order, so timing-only runs
+  // (measure_column_costs) stay bitwise identical to the sequential path.
+  StripedMatrix striped(result.matrix);
+  const auto fused_pair = [&](std::size_t beta, std::size_t alpha) {
+    const LocalMatrix local = integrator.element_pair(elements[beta], elements[alpha]);
+    scatter(model, basis, beta, alpha, local,
+            [&](std::size_t j, std::size_t i, double v) { striped.add(j, i, v); });
+  };
   if (options.measure_column_costs) result.column_costs.assign(m, 0.0);
 
-  const auto run_loop = [&](std::size_t n, const std::function<void(std::size_t)>& body,
-                            par::ThreadPool& pool) {
+  std::optional<par::ThreadPool> owned_pool;
+  par::ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.backend == Backend::kThreadPool) {
+    owned_pool.emplace(options.num_threads);
+    pool = &*owned_pool;
+  }
+  const auto run_loop = [&](std::size_t count, const auto& body) {
     if (options.backend == Backend::kOpenMp) {
-      par::openmp_parallel_for(options.num_threads, n, options.schedule, body);
+      par::openmp_parallel_for(options.num_threads, count, options.schedule, body);
     } else {
-      par::parallel_for(pool, n, options.schedule, body);
+      par::parallel_for(*pool, count, options.schedule, body);
     }
   };
 
-  par::ThreadPool pool(options.backend == Backend::kThreadPool ? options.num_threads : 1);
   if (options.loop == ParallelLoop::kOuter) {
-    run_loop(
-        m,
-        [&](std::size_t beta) {
-          WallTimer timer;
-          for (std::size_t alpha = beta; alpha < m; ++alpha) {
-            store.block(beta, alpha) =
-                integrator.element_pair(elements[beta], elements[alpha]);
-          }
-          if (!result.column_costs.empty()) result.column_costs[beta] = timer.seconds();
-        },
-        pool);
+    run_loop(m, [&](std::size_t beta) {
+      WallTimer timer;
+      for (std::size_t alpha = beta; alpha < m; ++alpha) fused_pair(beta, alpha);
+      if (!result.column_costs.empty()) result.column_costs[beta] = timer.seconds();
+    });
   } else {
     for (std::size_t beta = 0; beta < m; ++beta) {
       WallTimer timer;
       const std::size_t rows = m - beta;
-      run_loop(
-          rows,
-          [&](std::size_t r) {
-            const std::size_t alpha = beta + r;
-            store.block(beta, alpha) =
-                integrator.element_pair(elements[beta], elements[alpha]);
-          },
-          pool);
+      run_loop(rows, [&](std::size_t r) { fused_pair(beta, beta + r); });
       if (!result.column_costs.empty()) result.column_costs[beta] = timer.seconds();
-    }
-  }
-
-  for (std::size_t beta = 0; beta < m; ++beta) {
-    for (std::size_t alpha = beta; alpha < m; ++alpha) {
-      scatter(model, basis, beta, alpha, store.block(beta, alpha), result.matrix);
     }
   }
   return result;

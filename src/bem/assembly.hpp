@@ -3,14 +3,21 @@
 //
 // The element-pair loop is the triangle beta = 0..M-1, alpha = beta..M-1
 // ("a triangle of M columns, of which the first one has M rows and the last
-// one has 1 row"). Three execution modes mirror the paper:
+// one has 1 row"). Execution modes:
 //   * sequential: compute each elemental matrix and assemble it immediately;
 //   * parallel outer loop: columns are distributed across threads under an
-//     OpenMP-style schedule; elemental matrices are stored per column and
-//     assembled sequentially afterwards (the paper's two-phase scheme that
-//     removes the assembly data race at ~2x elemental-matrix memory);
+//     OpenMP-style schedule (coarse granularity; the paper's pick);
 //   * parallel inner loop: columns run sequentially, the rows of each column
 //     are distributed (the lower-granularity alternative of Fig. 6.1).
+//
+// Parallel modes use a *fused streaming* scheme: every worker scatters each
+// elemental matrix into the global packed symmetric matrix as soon as it is
+// computed, synchronized by an array of row-striped locks. Because the
+// element-pair integration dominates the scatter by orders of magnitude, the
+// stripe locks are essentially uncontended; peak memory stays at the packed
+// O(N^2/2) of the result matrix itself. (The seed's two-phase scheme instead
+// materialized all M(M+1)/2 elemental blocks before a serial scatter pass —
+// O(M^2) extra memory and a serial Amdahl term.)
 #pragma once
 
 #include <cstddef>
@@ -20,6 +27,10 @@
 #include "src/la/sym_matrix.hpp"
 #include "src/parallel/schedule.hpp"
 #include "src/soil/hankel_kernel.hpp"
+
+namespace ebem::par {
+class ThreadPool;
+}  // namespace ebem::par
 
 namespace ebem::bem {
 
@@ -49,6 +60,10 @@ struct AssemblyOptions {
   /// Record the wall-clock cost of each outer column (feeds the schedule
   /// simulator used by the Fig. 6.1 / Table 6.2 / Table 6.3 benches).
   bool measure_column_costs = false;
+  /// Optional externally owned worker pool for Backend::kThreadPool; when
+  /// set its thread count takes precedence over num_threads, and repeated
+  /// assemblies reuse the same workers instead of spawning fresh threads.
+  par::ThreadPool* pool = nullptr;
 };
 
 struct AssemblyResult {

@@ -91,6 +91,10 @@ std::array<double, 2> Integrator::inner_integrals(geom::Vec3 field_point,
 }
 
 LocalMatrix Integrator::element_pair(const BemElement& field, const BemElement& source) const {
+  if (options_.inner == InnerIntegration::kAnalytic) {
+    return element_pair_analytic(field, source);
+  }
+
   const quad::Rule& rule = quad::cached_gauss_legendre(options_.outer_gauss_points);
   const double half = 0.5 * field.length;
 
@@ -109,6 +113,65 @@ LocalMatrix Integrator::element_pair(const BemElement& field, const BemElement& 
       local.value[1][1] += w1 * inner[1];
     } else {
       local.value[0][0] += weight * inner[0];
+    }
+  }
+  return local;
+}
+
+LocalMatrix Integrator::element_pair_analytic(const BemElement& field,
+                                              const BemElement& source) const {
+  const quad::Rule& rule = quad::cached_gauss_legendre(options_.outer_gauss_points);
+  const std::size_t points = rule.size();
+  const double half = 0.5 * field.length;
+
+  // Per-thread scratch: outer Gauss points of the field element and the
+  // inner-integral accumulators, reused across the whole triangle loop.
+  thread_local std::vector<geom::Vec3> chi;
+  thread_local std::vector<double> acc0;
+  thread_local std::vector<double> acc1;
+  chi.resize(points);
+  acc0.assign(points, 0.0);
+  acc1.assign(points, 0.0);
+  for (std::size_t q = 0; q < points; ++q) {
+    const double t = 0.5 * (1.0 + rule.nodes[q]);
+    chi[q] = field.a + t * (field.b - field.a);
+  }
+
+  // One SoA sweep per image term: the mirrored segment frame is derived once
+  // per (source element, layer pair) term and evaluated against every outer
+  // Gauss point, instead of rebuilding each image for every field point.
+  const bool linear = options_.basis == BasisKind::kLinear;
+  for (const soil::ImageTerm& term : image_kernel_->terms(source.layer, field.layer)) {
+    const geom::Vec3 a{source.a.x, source.a.y, term.mirror * source.a.z + term.offset};
+    const geom::Vec3 b{source.b.x, source.b.y, term.mirror * source.b.z + term.offset};
+    const SegmentFrame frame = make_segment_frame(a, b, source.radius);
+    for (std::size_t q = 0; q < points; ++q) {
+      const SegmentPotentials s = segment_potentials(frame, chi[q]);
+      if (linear) {
+        acc0[q] += term.weight * shape_start_integral(s, source.length);
+        acc1[q] += term.weight * shape_end_integral(s, source.length);
+      } else {
+        acc0[q] += term.weight * s.i0;
+      }
+    }
+  }
+
+  const double prefactor = image_kernel_->prefactor(source.layer);
+  LocalMatrix local;
+  for (std::size_t q = 0; q < points; ++q) {
+    const double t = 0.5 * (1.0 + rule.nodes[q]);
+    const double weight = rule.weights[q] * half;
+    const double inner0 = prefactor * acc0[q];
+    if (linear) {
+      const double inner1 = prefactor * acc1[q];
+      const double w0 = weight * (1.0 - t);
+      const double w1 = weight * t;
+      local.value[0][0] += w0 * inner0;
+      local.value[0][1] += w0 * inner1;
+      local.value[1][0] += w1 * inner0;
+      local.value[1][1] += w1 * inner1;
+    } else {
+      local.value[0][0] += weight * inner0;
     }
   }
   return local;

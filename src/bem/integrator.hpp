@@ -69,6 +69,13 @@ class Integrator {
                                                       const BemElement& source,
                                                       std::size_t field_layer) const;
 
+  /// Batched analytic path of element_pair: the mirrored image segments of
+  /// `source` are set up once per (source, layer-pair) and every segment is
+  /// evaluated against all outer Gauss points of `field` in one pass,
+  /// instead of re-deriving each image for every outer point.
+  [[nodiscard]] LocalMatrix element_pair_analytic(const BemElement& field,
+                                                  const BemElement& source) const;
+
   const soil::PointKernel& kernel_;
   const soil::ImageKernel* image_kernel_;  ///< non-null when kernel_ is image-based
   IntegratorOptions options_;

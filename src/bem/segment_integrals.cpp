@@ -8,27 +8,34 @@
 
 namespace ebem::bem {
 
-SegmentPotentials segment_potentials(geom::Vec3 p, geom::Vec3 a, geom::Vec3 b, double radius) {
+SegmentFrame make_segment_frame(geom::Vec3 a, geom::Vec3 b, double radius) {
   const geom::Vec3 axis = b - a;
   const double length = geom::norm(axis);
   EBEM_EXPECT(length > 0.0, "source segment must have positive length");
-  const geom::Vec3 u = axis / length;
-  const geom::Vec3 w = p - a;
-  const double t0 = geom::dot(w, u);  // foot of the perpendicular
+  return {a, axis / length, length, square(radius)};
+}
+
+SegmentPotentials segment_potentials(const SegmentFrame& frame, geom::Vec3 p) {
+  const geom::Vec3 w = p - frame.a;
+  const double t0 = geom::dot(w, frame.u);  // foot of the perpendicular
   // Squared distance from p to the segment axis, plus the wire radius.
-  const double perp2 = std::max(geom::dot(w, w) - t0 * t0, 0.0) + square(radius);
+  const double perp2 = std::max(geom::dot(w, w) - t0 * t0, 0.0) + frame.radius2;
   EBEM_EXPECT(perp2 > 0.0, "field point lies on the (unregularized) source axis");
   const double h = std::sqrt(perp2);
 
   // I0 = asinh((L - t0)/h) - asinh(-t0/h).
-  const double s1 = (length - t0) / h;
+  const double s1 = (frame.length - t0) / h;
   const double s0 = -t0 / h;
   SegmentPotentials result;
   result.i0 = std::asinh(s1) - std::asinh(s0);
   // I1 = sqrt((L-t0)^2 + h^2) - sqrt(t0^2 + h^2) + t0 * I0.
-  result.i1 = std::sqrt(square(length - t0) + perp2) - std::sqrt(square(t0) + perp2) +
-              t0 * result.i0;
+  result.i1 = std::sqrt(square(frame.length - t0) + perp2) -
+              std::sqrt(square(t0) + perp2) + t0 * result.i0;
   return result;
+}
+
+SegmentPotentials segment_potentials(geom::Vec3 p, geom::Vec3 a, geom::Vec3 b, double radius) {
+  return segment_potentials(make_segment_frame(a, b, radius), p);
 }
 
 }  // namespace ebem::bem

@@ -10,6 +10,11 @@
 // combinations of I0 and I1, so every elemental coefficient of eq. (4.5)
 // reduces to an outer quadrature over these closed forms — term by image
 // term, because the image of a straight segment is a straight segment.
+//
+// The batched integrator evaluates one segment against many field points
+// (all outer Gauss points of an element pair), so the segment-only part of
+// the computation — axis direction, length, regularization — is split into
+// a SegmentFrame computed once and reused per field point.
 #pragma once
 
 #include "src/geom/vec3.hpp"
@@ -21,6 +26,22 @@ struct SegmentPotentials {
   double i0 = 0.0;  ///< integral of 1/r
   double i1 = 0.0;  ///< integral of t/r (t = arc length from segment start)
 };
+
+/// Field-point-independent part of the segment integrals: unit axis, length
+/// and squared regularization radius, computed once per (image) segment.
+struct SegmentFrame {
+  geom::Vec3 a;         ///< segment start
+  geom::Vec3 u;         ///< unit axis (b - a) / |b - a|
+  double length = 0.0;  ///< |b - a|
+  double radius2 = 0.0; ///< thin-wire regularization radius squared
+};
+
+/// Precompute the frame of the segment `a`->`b` with regularization `radius`.
+/// Throws if the segment is degenerate.
+[[nodiscard]] SegmentFrame make_segment_frame(geom::Vec3 a, geom::Vec3 b, double radius);
+
+/// Analytic I0, I1 for field point `p` against a precomputed segment frame.
+[[nodiscard]] SegmentPotentials segment_potentials(const SegmentFrame& frame, geom::Vec3 p);
 
 /// Analytic I0, I1 for field point `p` against the segment `a`->`b` with
 /// thin-wire regularization radius `radius` (> 0 for self/near interactions;

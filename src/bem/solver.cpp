@@ -1,22 +1,36 @@
 #include "src/bem/solver.hpp"
 
+#include <optional>
+
 #include "src/common/error.hpp"
 #include "src/la/blas1.hpp"
 #include "src/la/cg.hpp"
 #include "src/la/cholesky.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace ebem::bem {
 
 std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> rhs,
                           const SolverOptions& options, SolveStats* stats) {
+  EBEM_EXPECT(options.num_threads >= 1, "need at least one thread");
+  std::optional<par::ThreadPool> owned_pool;
+  par::ThreadPool* pool = nullptr;
+  if (options.num_threads > 1) {
+    pool = options.pool;
+    if (pool == nullptr) {
+      owned_pool.emplace(options.num_threads);
+      pool = &*owned_pool;
+    }
+  }
+
   if (options.kind == SolverKind::kCholesky) {
-    const la::Cholesky factor(matrix);
+    const la::Cholesky factor(matrix, {.block = options.cholesky_block, .pool = pool});
     std::vector<double> x = factor.solve(rhs);
     if (stats != nullptr) {
       // Report the achieved residual for parity with the iterative path.
       std::vector<double> r(rhs.begin(), rhs.end());
       std::vector<double> ax(rhs.size());
-      matrix.multiply(x, ax);
+      matrix.multiply(x, ax, pool);
       la::axpy(-1.0, ax, r);
       stats->iterations = 0;
       const double b_norm = la::nrm2(rhs);
@@ -28,6 +42,7 @@ std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> r
   la::CgOptions cg_options;
   cg_options.tolerance = options.cg_tolerance;
   cg_options.max_iterations = options.cg_max_iterations;
+  cg_options.pool = pool;
   la::CgResult result = la::conjugate_gradient(matrix, rhs, cg_options);
   EBEM_EXPECT(result.converged, "PCG failed to converge");
   if (stats != nullptr) {

@@ -1,5 +1,9 @@
 // Linear-system solution stage (paper §4.3): direct Cholesky O(N^3/3) or
 // the paper's preferred diagonally preconditioned conjugate gradient.
+// Both paths parallelize over a worker pool: the blocked Cholesky runs its
+// panel solve and trailing update across threads, PCG its matrix-vector
+// product — so the solve phase scales alongside the fused assembly instead
+// of capping end-to-end speed-up (Amdahl).
 #pragma once
 
 #include <cstddef>
@@ -7,6 +11,10 @@
 #include <vector>
 
 #include "src/la/sym_matrix.hpp"
+
+namespace ebem::par {
+class ThreadPool;
+}  // namespace ebem::par
 
 namespace ebem::bem {
 
@@ -19,6 +27,13 @@ struct SolverOptions {
   SolverKind kind = SolverKind::kCholesky;
   double cg_tolerance = 1e-12;
   std::size_t cg_max_iterations = 0;  ///< 0 = automatic
+  /// Worker count for the solve phase; 1 keeps the serial reference path.
+  std::size_t num_threads = 1;
+  /// Optional externally owned pool reused instead of spawning workers;
+  /// only consulted when num_threads > 1.
+  par::ThreadPool* pool = nullptr;
+  /// Panel width of the blocked Cholesky factorization.
+  std::size_t cholesky_block = 64;
 };
 
 struct SolveStats {

@@ -12,6 +12,10 @@
 
 #include "src/la/sym_matrix.hpp"
 
+namespace ebem::par {
+class ThreadPool;
+}  // namespace ebem::par
+
 namespace ebem::la {
 
 /// Matrix-free SPD operator: y = A x plus the diagonal for Jacobi
@@ -27,6 +31,9 @@ struct CgOptions {
   double tolerance = 1e-12;      ///< relative residual ||r|| / ||b||
   std::size_t max_iterations = 0;  ///< 0 means 10 * N
   bool jacobi_preconditioner = true;
+  /// Non-owning worker pool: parallelizes the dominant A*p product of the
+  /// SymMatrix overload (the O(N) vector updates stay serial). Null = serial.
+  par::ThreadPool* pool = nullptr;
 };
 
 struct CgResult {

@@ -1,27 +1,95 @@
 #include "src/la/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/error.hpp"
+#include "src/parallel/parallel_for.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace ebem::la {
 
-Cholesky::Cholesky(const SymMatrix& a) : n_(a.size()), l_(a.packed().begin(), a.packed().end()) {
-  for (std::size_t j = 0; j < n_; ++j) {
+Cholesky::Cholesky(const SymMatrix& a) : Cholesky(a, {}) {}
+
+Cholesky::Cholesky(const SymMatrix& a, const CholeskyOptions& options)
+    : n_(a.size()), l_(a.packed().begin(), a.packed().end()) {
+  EBEM_EXPECT(options.block >= 1, "panel width must be at least 1");
+  par::ThreadPool* pool =
+      (options.pool != nullptr && options.pool->num_threads() > 1) ? options.pool : nullptr;
+  for (std::size_t k0 = 0; k0 < n_; k0 += options.block) {
+    const std::size_t k1 = std::min(k0 + options.block, n_);
+    factor_diagonal_block(k0, k1);
+    panel_solve(k0, k1, pool);
+    trailing_update(k0, k1, pool);
+  }
+}
+
+void Cholesky::factor_diagonal_block(std::size_t k0, std::size_t k1) {
+  // Right-looking: previous panels' trailing updates already applied, so
+  // only columns within the panel enter the dot products.
+  for (std::size_t j = k0; j < k1; ++j) {
+    const double* row_j = l_.data() + index(j, k0);
     double diag = l_[index(j, j)];
-    for (std::size_t k = 0; k < j; ++k) {
-      const double ljk = l_[index(j, k)];
+    for (std::size_t k = k0; k < j; ++k) {
+      const double ljk = row_j[k - k0];
       diag -= ljk * ljk;
     }
     EBEM_EXPECT(diag > 0.0, "matrix is not positive definite");
     const double ljj = std::sqrt(diag);
     l_[index(j, j)] = ljj;
-    for (std::size_t i = j + 1; i < n_; ++i) {
+    for (std::size_t i = j + 1; i < k1; ++i) {
+      const double* row_i = l_.data() + index(i, k0);
       double sum = l_[index(i, j)];
-      for (std::size_t k = 0; k < j; ++k) sum -= l_[index(i, k)] * l_[index(j, k)];
+      for (std::size_t k = k0; k < j; ++k) sum -= row_i[k - k0] * row_j[k - k0];
       l_[index(i, j)] = sum / ljj;
     }
   }
+}
+
+void Cholesky::panel_solve(std::size_t k0, std::size_t k1, par::ThreadPool* pool) {
+  if (k1 >= n_) return;
+  const auto solve_row = [&](std::size_t i) {
+    double* row_i = l_.data() + index(i, k0);
+    for (std::size_t j = k0; j < k1; ++j) {
+      const double* row_j = l_.data() + index(j, k0);
+      double sum = row_i[j - k0];
+      for (std::size_t k = k0; k < j; ++k) sum -= row_i[k - k0] * row_j[k - k0];
+      row_i[j - k0] = sum / row_j[j - k0];
+    }
+  };
+  const std::size_t rows = n_ - k1;
+  if (pool == nullptr) {
+    for (std::size_t r = 0; r < rows; ++r) solve_row(k1 + r);
+    return;
+  }
+  par::parallel_for(*pool, rows, par::Schedule::guided(1),
+                    [&](std::size_t r) { solve_row(k1 + r); });
+}
+
+void Cholesky::trailing_update(std::size_t k0, std::size_t k1, par::ThreadPool* pool) {
+  if (k1 >= n_) return;
+  const std::size_t width = k1 - k0;
+  // Row i of the Schur complement subtracts the panel-dot of rows i and j;
+  // both panel segments are contiguous in packed row-major storage.
+  const auto update_row = [&](std::size_t i) {
+    const double* panel_i = l_.data() + index(i, k0);
+    double* row_i = l_.data() + index(i, k1);
+    for (std::size_t j = k1; j <= i; ++j) {
+      const double* panel_j = l_.data() + index(j, k0);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < width; ++k) sum += panel_i[k] * panel_j[k];
+      row_i[j - k1] -= sum;
+    }
+  };
+  const std::size_t rows = n_ - k1;
+  if (pool == nullptr) {
+    for (std::size_t r = 0; r < rows; ++r) update_row(k1 + r);
+    return;
+  }
+  // Row cost grows linearly with i, the exact triangular profile the
+  // guided schedule balances.
+  par::parallel_for(*pool, rows, par::Schedule::guided(1),
+                    [&](std::size_t r) { update_row(k1 + r); });
 }
 
 std::vector<double> Cholesky::solve(std::span<const double> b) const {

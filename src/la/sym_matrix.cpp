@@ -2,8 +2,34 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "src/parallel/parallel_for.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace ebem::la {
+
+namespace {
+
+/// Below this dimension the parallel-region overhead exceeds the matvec.
+constexpr std::size_t kParallelMultiplyCutoff = 128;
+
+/// Contiguous row strips with approximately equal packed-entry counts
+/// (row i holds i + 1 entries, so equal-count strips mean equal flops).
+std::vector<std::size_t> balanced_row_strips(std::size_t n, std::size_t strips) {
+  std::vector<std::size_t> bounds(strips + 1, n);
+  bounds[0] = 0;
+  const double total = 0.5 * static_cast<double>(n) * static_cast<double>(n + 1);
+  for (std::size_t s = 1; s < strips; ++s) {
+    const double share = total * static_cast<double>(s) / static_cast<double>(strips);
+    // Smallest r with r (r + 1) / 2 >= share.
+    const auto r = static_cast<std::size_t>(std::sqrt(2.0 * share));
+    bounds[s] = std::clamp(r, bounds[s - 1], n);
+  }
+  return bounds;
+}
+
+}  // namespace
 
 void SymMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   assert(x.size() == n_ && y.size() == n_);
@@ -21,6 +47,58 @@ void SymMatrix::multiply(std::span<const double> x, std::span<double> y) const {
     yi += data_[k++] * xi;  // diagonal
     y[i] += yi;
   }
+}
+
+void SymMatrix::multiply(std::span<const double> x, std::span<double> y,
+                         par::ThreadPool* pool) const {
+  if (pool == nullptr || pool->num_threads() <= 1 || n_ < kParallelMultiplyCutoff) {
+    multiply(x, y);
+    return;
+  }
+  assert(x.size() == n_ && y.size() == n_);
+  const std::size_t strips = pool->num_threads();
+  const std::vector<std::size_t> bounds = balanced_row_strips(n_, strips);
+  // Reused per calling thread: PCG invokes this once per iteration, and a
+  // fresh strips*n allocation each time would dominate small systems. The
+  // workers must see the *caller's* buffer, and lambdas do not capture
+  // thread_local storage — hence the local alias below.
+  thread_local std::vector<double> scratch;
+  scratch.assign(strips * n_, 0.0);
+  double* const partials = scratch.data();
+
+  // Pass 1: strip s walks its rows contiguously, owning y[i] for its rows
+  // and scattering the transpose part into its private partial vector.
+  // static_chunked(1) over strip ids pins strip s to thread s.
+  par::parallel_for_chunks(
+      *pool, strips, par::Schedule::static_chunked(1),
+      [&](par::ChunkRange range, std::size_t) {
+        for (std::size_t s = range.begin; s < range.end; ++s) {
+          double* partial = partials + s * n_;
+          for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
+            const double* row = data_.data() + i * (i + 1) / 2;
+            const double xi = x[i];
+            double yi = 0.0;
+            for (std::size_t j = 0; j < i; ++j) {
+              const double a = row[j];
+              yi += a * x[j];
+              partial[j] += a * xi;
+            }
+            y[i] = yi + row[i] * xi;
+          }
+        }
+      });
+
+  // Pass 2: reduce the strip partials in fixed strip order.
+  par::parallel_for_chunks(*pool, n_, par::Schedule::static_blocked(),
+                           [&](par::ChunkRange range, std::size_t) {
+                             for (std::size_t i = range.begin; i < range.end; ++i) {
+                               double yi = y[i];
+                               for (std::size_t s = 0; s < strips; ++s) {
+                                 yi += partials[s * n_ + i];
+                               }
+                               y[i] = yi;
+                             }
+                           });
 }
 
 std::vector<double> SymMatrix::diagonal() const {

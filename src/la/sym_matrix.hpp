@@ -9,6 +9,10 @@
 #include <span>
 #include <vector>
 
+namespace ebem::par {
+class ThreadPool;
+}  // namespace ebem::par
+
 namespace ebem::la {
 
 class SymMatrix {
@@ -26,6 +30,14 @@ class SymMatrix {
 
   /// y = A x.
   void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A x on `pool`'s workers: the packed triangle is split into
+  /// weight-balanced row strips, each strip scattering its transpose part
+  /// into a per-strip partial that a second parallel pass reduces in fixed
+  /// strip order — so the result is deterministic for a given pool size.
+  /// Falls back to the serial walk for a null/single-thread pool or a small
+  /// matrix.
+  void multiply(std::span<const double> x, std::span<double> y, par::ThreadPool* pool) const;
 
   /// Diagonal entries, used by the Jacobi preconditioner.
   [[nodiscard]] std::vector<double> diagonal() const;

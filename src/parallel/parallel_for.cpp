@@ -41,67 +41,6 @@ std::size_t guided_chunk_size(std::size_t remaining, std::size_t num_threads,
   return std::max<std::size_t>({proportional, min_chunk, 1});
 }
 
-void parallel_for_chunks(ThreadPool& pool, std::size_t n, const Schedule& schedule,
-                         const std::function<void(ChunkRange, std::size_t)>& body) {
-  const std::size_t num_threads = pool.num_threads();
-  if (n == 0) return;
-
-  switch (schedule.kind) {
-    case ScheduleKind::kStatic: {
-      pool.run([&](std::size_t tid) {
-        for (const ChunkRange& range :
-             static_chunks_for_thread(n, num_threads, tid, schedule.chunk)) {
-          body(range, tid);
-        }
-      });
-      return;
-    }
-    case ScheduleKind::kDynamic: {
-      const std::size_t chunk = std::max<std::size_t>(schedule.chunk, 1);
-      std::atomic<std::size_t> next{0};
-      pool.run([&](std::size_t tid) {
-        for (;;) {
-          const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
-          if (begin >= n) return;
-          body({begin, std::min(begin + chunk, n)}, tid);
-        }
-      });
-      return;
-    }
-    case ScheduleKind::kGuided: {
-      const std::size_t min_chunk = std::max<std::size_t>(schedule.chunk, 1);
-      std::atomic<std::size_t> next{0};
-      pool.run([&](std::size_t tid) {
-        for (;;) {
-          // Reserve a chunk sized from the *current* remaining count. The
-          // reservation races benignly: a stale `remaining` only changes the
-          // chunk size, never correctness, because fetch_add hands out
-          // disjoint ranges.
-          const std::size_t seen = next.load(std::memory_order_relaxed);
-          if (seen >= n) return;
-          const std::size_t size = guided_chunk_size(n - seen, num_threads, min_chunk);
-          const std::size_t begin = next.fetch_add(size, std::memory_order_relaxed);
-          if (begin >= n) return;
-          body({begin, std::min(begin + size, n)}, tid);
-        }
-      });
-      return;
-    }
-  }
-  EBEM_ENSURE(false, "unhandled schedule kind");
-}
-
-void parallel_for(ThreadPool& pool, std::size_t n, const Schedule& schedule,
-                  const std::function<void(std::size_t)>& body) {
-  parallel_for_chunks(pool, n, schedule, [&](ChunkRange range, std::size_t) {
-    for (std::size_t i = range.begin; i < range.end; ++i) body(i);
-  });
-}
-
-void parallel_for(std::size_t num_threads, std::size_t n, const Schedule& schedule,
-                  const std::function<void(std::size_t)>& body) {
-  ThreadPool pool(num_threads);
-  parallel_for(pool, n, schedule, body);
-}
+void unhandled_schedule_kind() { EBEM_ENSURE(false, "unhandled schedule kind"); }
 
 }  // namespace ebem::par

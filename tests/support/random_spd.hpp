@@ -1,0 +1,36 @@
+// Shared random SPD matrix generator for solver tests and benches, so both
+// exercise identically conditioned (diagonally dominant) systems.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "src/la/sym_matrix.hpp"
+
+namespace ebem::la::testing {
+
+/// Random symmetric matrix with entries in [-1, 1] and the diagonal shifted
+/// by +n, making it strictly diagonally dominant and hence SPD.
+inline SymMatrix random_spd(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  SymMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) a(i, j) = dist(rng);
+    a(i, i) = std::abs(a(i, i)) + static_cast<double>(n);
+  }
+  return a;
+}
+
+/// Random vector with entries in [-1, 1].
+inline std::vector<double> random_vector(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> x(n);
+  for (double& v : x) v = dist(rng);
+  return x;
+}
+
+}  // namespace ebem::la::testing

@@ -1,0 +1,165 @@
+// Parallel solve-phase kernels: blocked Cholesky vs the unblocked reference,
+// determinism across pool sizes, the strip-parallel symmetric matvec, and
+// pool-backed PCG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/la/cg.hpp"
+#include "src/la/cholesky.hpp"
+#include "src/la/sym_matrix.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "tests/support/random_spd.hpp"
+
+namespace ebem::la {
+namespace {
+
+using testing::random_spd;
+using testing::random_vector;
+
+/// Unblocked textbook LL^T, the seed implementation, kept as the reference
+/// the blocked factorization is checked against.
+std::vector<double> reference_factor(const SymMatrix& a) {
+  const std::size_t n = a.size();
+  std::vector<double> l(a.packed().begin(), a.packed().end());
+  const auto index = [](std::size_t i, std::size_t j) { return i * (i + 1) / 2 + j; };
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = l[index(j, j)];
+    for (std::size_t k = 0; k < j; ++k) diag -= l[index(j, k)] * l[index(j, k)];
+    EXPECT_GT(diag, 0.0);
+    const double ljj = std::sqrt(diag);
+    l[index(j, j)] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = l[index(i, j)];
+      for (std::size_t k = 0; k < j; ++k) sum -= l[index(i, k)] * l[index(j, k)];
+      l[index(i, j)] = sum / ljj;
+    }
+  }
+  return l;
+}
+
+struct BlockedCase {
+  std::size_t n;
+  std::size_t block;
+};
+
+class BlockedCholesky : public ::testing::TestWithParam<BlockedCase> {};
+
+TEST_P(BlockedCholesky, MatchesUnblockedReference) {
+  const auto [n, block] = GetParam();
+  const SymMatrix a = random_spd(n, static_cast<unsigned>(1000 + n + block));
+  const std::vector<double> reference = reference_factor(a);
+
+  const Cholesky blocked(a, {.block = block});
+  const auto factor = blocked.packed_factor();
+  ASSERT_EQ(factor.size(), reference.size());
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    EXPECT_NEAR(factor[k], reference[k], 1e-12 * std::abs(reference[k]) + 1e-13) << k;
+  }
+}
+
+TEST_P(BlockedCholesky, ParallelFactorIsBitIdenticalToSerialBlocked) {
+  // Every entry of L is produced by one worker with a fixed summation
+  // order, so threading must not change a single bit.
+  const auto [n, block] = GetParam();
+  const SymMatrix a = random_spd(n, static_cast<unsigned>(2000 + n + block));
+  const Cholesky serial(a, {.block = block});
+  for (std::size_t threads : {2, 4}) {
+    par::ThreadPool pool(threads);
+    const Cholesky parallel(a, {.block = block, .pool = &pool});
+    const auto s = serial.packed_factor();
+    const auto p = parallel.packed_factor();
+    ASSERT_EQ(s.size(), p.size());
+    for (std::size_t k = 0; k < s.size(); ++k) EXPECT_EQ(s[k], p[k]) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndBlocks, BlockedCholesky,
+                         ::testing::Values(BlockedCase{1, 4}, BlockedCase{7, 2},
+                                           BlockedCase{16, 16}, BlockedCase{33, 8},
+                                           BlockedCase{64, 16}, BlockedCase{97, 32},
+                                           BlockedCase{130, 64}, BlockedCase{50, 1},
+                                           BlockedCase{40, 128}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_b" +
+                                  std::to_string(info.param.block);
+                         });
+
+TEST(BlockedCholeskyErrors, RejectsIndefiniteMatrixInAnyBlocking) {
+  SymMatrix a(3);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // leading 2x2 block is indefinite
+  a(2, 2) = 5.0;
+  for (std::size_t block : {1, 2, 8}) {
+    EXPECT_THROW(Cholesky(a, {.block = block}), InvalidArgument) << block;
+  }
+  par::ThreadPool pool(2);
+  EXPECT_THROW(Cholesky(a, {.block = 2, .pool = &pool}), InvalidArgument);
+}
+
+TEST(BlockedCholeskyErrors, RejectsZeroBlock) {
+  const SymMatrix a = random_spd(4, 7);
+  EXPECT_THROW(Cholesky(a, {.block = 0}), InvalidArgument);
+}
+
+TEST(ParallelMultiply, MatchesSerialWalk) {
+  for (std::size_t n : {1, 8, 128, 301}) {
+    const SymMatrix a = random_spd(n, static_cast<unsigned>(n));
+    const std::vector<double> x = random_vector(n, static_cast<unsigned>(n + 1));
+    std::vector<double> serial(n), parallel(n);
+    a.multiply(x, serial);
+    for (std::size_t threads : {1, 2, 4}) {
+      par::ThreadPool pool(threads);
+      a.multiply(x, parallel, &pool);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(serial[i], parallel[i], 1e-12 * std::abs(serial[i]) + 1e-13)
+            << "n=" << n << " t=" << threads << " i=" << i;
+      }
+    }
+    // Null pool must take the serial path exactly.
+    a.multiply(x, parallel, nullptr);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelMultiply, DeterministicForFixedPoolSize) {
+  const std::size_t n = 257;
+  const SymMatrix a = random_spd(n, 5);
+  const std::vector<double> x = random_vector(n, 6);
+  par::ThreadPool pool(3);
+  std::vector<double> first(n), repeat(n);
+  a.multiply(x, first, &pool);
+  for (int round = 0; round < 5; ++round) {
+    a.multiply(x, repeat, &pool);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(first[i], repeat[i]) << i;
+  }
+}
+
+TEST(ParallelCg, PoolBackedSolveMatchesSerial) {
+  const std::size_t n = 200;
+  const SymMatrix a = random_spd(n, 11);
+  std::vector<double> x_true = random_vector(n, 12);
+  std::vector<double> b(n);
+  a.multiply(x_true, b);
+
+  CgOptions serial_options;
+  serial_options.tolerance = 1e-13;
+  const CgResult serial = conjugate_gradient(a, b, serial_options);
+  ASSERT_TRUE(serial.converged);
+
+  par::ThreadPool pool(4);
+  CgOptions pool_options = serial_options;
+  pool_options.pool = &pool;
+  const CgResult parallel = conjugate_gradient(a, b, pool_options);
+  ASSERT_TRUE(parallel.converged);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(serial.x[i], parallel.x[i], 1e-9 * std::abs(serial.x[i]) + 1e-11) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ebem::la

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 
 #include "src/bem/assembly.hpp"
 #include "src/geom/grid_builder.hpp"
@@ -37,7 +38,7 @@ TEST(OpenMpBackend, ZeroIterationsIsANoop) {
   EXPECT_FALSE(touched);
 }
 
-TEST(OpenMpBackend, AssemblyMatchesThreadPoolBitwise) {
+TEST(OpenMpBackend, AssemblyMatchesThreadPool) {
   geom::RectGridSpec spec;
   spec.length_x = 20.0;
   spec.length_y = 20.0;
@@ -55,10 +56,14 @@ TEST(OpenMpBackend, AssemblyMatchesThreadPoolBitwise) {
   omp_options.backend = bem::Backend::kOpenMp;
   const bem::AssemblyResult omp_result = bem::assemble(model, omp_options);
 
+  // Fused streaming assembly scatters concurrently, so the two backends may
+  // differ only by floating-point accumulation order.
   const auto a = pool_result.matrix.packed();
   const auto b = omp_result.matrix.packed();
   ASSERT_EQ(a.size(), b.size());
-  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]) << k;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(a[k], b[k], 1e-12 * std::abs(a[k]) + 1e-15) << k;
+  }
 }
 
 TEST(OpenMpBackend, InnerLoopModeAlsoMatches) {
@@ -80,7 +85,9 @@ TEST(OpenMpBackend, InnerLoopModeAlsoMatches) {
 
   const auto a = sequential.matrix.packed();
   const auto b = omp_result.matrix.packed();
-  for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]) << k;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(a[k], b[k], 1e-12 * std::abs(a[k]) + 1e-15) << k;
+  }
 }
 
 }  // namespace
