@@ -1,0 +1,139 @@
+// Congruence-cache bench: assembly wall time with the cache off vs on, hit
+// rate and entry count, plus cache-on/off parity, on two grids:
+//  * the uniform rectangular bench grid (the paper's case; nearly all pairs
+//    are translated/rotated/reflected copies of a few hundred classes), and
+//  * a geometrically graded grid, the adversarial low-congruence case the
+//    cache must degrade gracefully on.
+// One JSON line per (grid, threads) for artifact archiving and diffing.
+//
+// Usage: bench_cache [cells] [max_threads] [--check]
+//   cells        grid cells per side (default 12 -> 312 elements)
+//   max_threads  thread counts 1, 2, 4, ... up to this value (default 1)
+//   --check      CI parity smoke: exit nonzero unless cache-on matches
+//                cache-off to 1e-12 relative on every packed entry, for
+//                every grid and thread count.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/bem/assembly.hpp"
+#include "src/common/timer.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace ebem;
+
+/// Max relative elementwise deviation between two packed matrices.
+double max_rel_diff(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double scale = std::abs(a[k]) + 1e-300;
+    worst = std::max(worst, std::abs(a[k] - b[k]) / scale);
+  }
+  return worst;
+}
+
+double best_of(int repeats, const auto& run) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    WallTimer timer;
+    run();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t cells = 12;
+  std::size_t max_threads = 1;
+  bool check = false;
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (positional == 0) {
+      cells = std::strtoul(argv[i], nullptr, 10);
+      ++positional;
+    } else {
+      max_threads = std::strtoul(argv[i], nullptr, 10);
+      ++positional;
+    }
+  }
+  if (cells == 0 || max_threads == 0) {
+    std::fprintf(stderr, "usage: bench_cache [cells >= 1] [max_threads >= 1] [--check]\n");
+    return 1;
+  }
+
+  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const double side = 5.0 * static_cast<double>(cells);
+
+  geom::RectGridSpec uniform_spec;
+  uniform_spec.length_x = side;
+  uniform_spec.length_y = side;
+  uniform_spec.cells_x = cells;
+  uniform_spec.cells_y = cells;
+
+  geom::GradedRectGridSpec graded_spec;
+  graded_spec.length_x = side;
+  graded_spec.length_y = side;
+  graded_spec.cells_x = cells;
+  graded_spec.cells_y = cells;
+  graded_spec.grading = 2.2;
+
+  struct GridCase {
+    const char* name;
+    bem::BemModel model;
+  };
+  const GridCase cases[] = {
+      {"uniform", bem::BemModel(geom::Mesh::build(geom::make_rect_grid(uniform_spec)), soil)},
+      {"graded",
+       bem::BemModel(geom::Mesh::build(geom::make_graded_rect_grid(graded_spec)), soil)},
+  };
+
+  bool parity_ok = true;
+  for (const GridCase& grid : cases) {
+    const std::size_t m = grid.model.element_count();
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      par::ThreadPool pool(threads);
+      bem::AssemblyOptions options;
+      options.num_threads = threads;
+      options.schedule = par::Schedule::guided(1);
+      if (threads > 1) options.pool = &pool;
+
+      bem::AssemblyResult off;
+      const double seconds_off = best_of(2, [&] { off = bem::assemble(grid.model, options); });
+
+      options.use_congruence_cache = true;
+      bem::AssemblyResult on;
+      // Each repetition owns a cold cache, so the timing includes the
+      // signature hashing and warm-up integrations the cache really costs.
+      const double seconds_on = best_of(2, [&] { on = bem::assemble(grid.model, options); });
+
+      const double diff = max_rel_diff(off.matrix.packed(), on.matrix.packed());
+      const bool ok = diff <= 1e-12;
+      parity_ok = parity_ok && ok;
+      std::printf(
+          "{\"bench\":\"cache\",\"grid\":\"%s\",\"elements\":%zu,\"pairs\":%zu,"
+          "\"threads\":%zu,\"hits\":%zu,\"misses\":%zu,\"entries\":%zu,"
+          "\"hit_rate\":%.4f,\"seconds_off\":%.6f,\"seconds_on\":%.6f,"
+          "\"speedup\":%.3f,\"max_rel_diff\":%.3e,\"parity_ok\":%s}\n",
+          grid.name, m, on.element_pairs, threads, on.cache_stats.hits, on.cache_stats.misses,
+          on.cache_stats.entries, on.cache_stats.hit_rate(), seconds_off, seconds_on,
+          seconds_off / seconds_on, diff, ok ? "true" : "false");
+    }
+  }
+
+  if (check && !parity_ok) {
+    std::fprintf(stderr, "bench_cache: cache-on assembly deviates from cache-off by more "
+                         "than 1e-12 relative\n");
+    return 1;
+  }
+  return 0;
+}

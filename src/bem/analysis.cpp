@@ -33,9 +33,24 @@ AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
 
   WallTimer wall;
   CpuTimer cpu;
+  // An external cache's stats are cumulative over its lifetime; snapshot
+  // them so the report below can record this run's delta instead of
+  // re-adding earlier runs' counts on every analyze() call.
+  const CongruenceCacheStats cache_before =
+      run.assembly.congruence_cache != nullptr ? run.assembly.congruence_cache->stats()
+                                               : CongruenceCacheStats{};
   AssemblyResult system = assemble(model, run.assembly);
+  result.cache_stats = system.cache_stats;
   if (report != nullptr) {
     report->add(Phase::kMatrixGeneration, wall.seconds(), cpu.seconds());
+    if (run.assembly.use_congruence_cache || run.assembly.congruence_cache != nullptr) {
+      // Raw additive counters only — a hit *rate* would not accumulate
+      // meaningfully across repeated analyze() calls into one report.
+      report->add_counter("Congruence cache hits",
+                          static_cast<double>(system.cache_stats.hits - cache_before.hits));
+      report->add_counter("Congruence cache misses",
+                          static_cast<double>(system.cache_stats.misses - cache_before.misses));
+    }
   }
 
   wall.reset();

@@ -28,6 +28,7 @@ struct AnalysisResult {
   double equivalent_resistance = 0.0;  ///< R_eq = GPR / I_Gamma [Ohm]
   SolveStats solve_stats;
   std::vector<double> column_costs;    ///< forwarded from assembly, if measured
+  CongruenceCacheStats cache_stats;    ///< forwarded from assembly (zeros if disabled)
 };
 
 /// Run the analysis. `report`, when provided, accumulates per-phase timings

@@ -124,17 +124,32 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options) {
   result.rhs = build_rhs(model, basis);
   result.element_pairs = m * (m + 1) / 2;
 
+  // Congruence cache: owned per run unless the caller supplied one to keep
+  // warm across assemblies. Null stays null when the feature is off — the
+  // cached element_pair overload then degenerates to the plain computation.
+  std::optional<CongruenceCache> owned_cache;
+  CongruenceCache* cache = options.congruence_cache;
+  if (cache == nullptr && options.use_congruence_cache) {
+    owned_cache.emplace(options.congruence_quantum);
+    cache = &*owned_cache;
+  }
+  const auto finalize_stats = [&] {
+    if (cache != nullptr) result.cache_stats = cache->stats();
+  };
+
   const bool sequential =
       options.num_threads == 1 && options.pool == nullptr && !options.measure_column_costs;
   if (sequential) {
     // Original sequential scheme: compute and assemble inside the loop.
     for (std::size_t beta = 0; beta < m; ++beta) {
       for (std::size_t alpha = beta; alpha < m; ++alpha) {
-        const LocalMatrix local = integrator.element_pair(elements[beta], elements[alpha]);
+        const LocalMatrix local =
+            integrator.element_pair(elements[beta], elements[alpha], cache);
         scatter(model, basis, beta, alpha, local,
                 [&](std::size_t j, std::size_t i, double v) { result.matrix(j, i) += v; });
       }
     }
+    finalize_stats();
     return result;
   }
 
@@ -145,7 +160,7 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options) {
   // (measure_column_costs) stay bitwise identical to the sequential path.
   StripedMatrix striped(result.matrix);
   const auto fused_pair = [&](std::size_t beta, std::size_t alpha) {
-    const LocalMatrix local = integrator.element_pair(elements[beta], elements[alpha]);
+    const LocalMatrix local = integrator.element_pair(elements[beta], elements[alpha], cache);
     scatter(model, basis, beta, alpha, local,
             [&](std::size_t j, std::size_t i, double v) { striped.add(j, i, v); });
   };
@@ -179,6 +194,7 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options) {
       if (!result.column_costs.empty()) result.column_costs[beta] = timer.seconds();
     }
   }
+  finalize_stats();
   return result;
 }
 

@@ -1,0 +1,54 @@
+#include "src/bem/congruence_cache.hpp"
+
+#include "src/common/error.hpp"
+
+namespace ebem::bem {
+
+CongruenceCache::CongruenceCache(double quantum, std::size_t max_entries)
+    : quantum_(quantum), max_entries_(max_entries) {
+  EBEM_EXPECT(quantum > 0.0, "congruence quantum must be positive");
+}
+
+bool CongruenceCache::lookup(const PairSignature& signature, LocalMatrix& block) const {
+  const Shard& shard = shard_of(signature);
+  {
+    const std::scoped_lock lock(shard.mutex);
+    const auto it = shard.map.find(signature);
+    if (it != shard.map.end()) {
+      block = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void CongruenceCache::insert(const PairSignature& signature, const LocalMatrix& block) {
+  if (entries_.load(std::memory_order_relaxed) >= max_entries_) return;
+  Shard& shard = shard_of(signature);
+  const std::scoped_lock lock(shard.mutex);
+  if (shard.map.try_emplace(signature, block).second) {
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CongruenceCacheStats CongruenceCache::stats() const {
+  CongruenceCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void CongruenceCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::scoped_lock lock(shard.mutex);
+    shard.map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  entries_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ebem::bem

@@ -1,0 +1,96 @@
+// Thread-safe cache of elemental Galerkin blocks keyed by the pair's
+// congruence signature — the subsystem that lets assembly integrate each
+// distinct pair geometry once and replay the 2x2 block for every congruent
+// copy (uniform rectangular grids repeat a handful of geometries tens of
+// thousands of times; see pair_signature.hpp for the invariance argument).
+//
+// Concurrency model matches the fused streaming assembly: a read-mostly
+// sharded hash map. Signatures are distributed over 64 independently locked
+// shards by their high hash bits, so concurrent workers contend only when
+// they touch the same shard at the same instant; after warm-up nearly every
+// access is a brief locked find. Two workers racing on the same cold key may
+// both integrate it — both results are identical, the second insert is
+// dropped, and correctness is unaffected.
+//
+// A cache is valid for one kernel + integrator configuration: reuse it
+// across assemblies only when soil model, series/quadrature options and
+// basis are unchanged (congruent geometry alone does not pin the physics).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/bem/integrator.hpp"
+#include "src/bem/pair_signature.hpp"
+
+namespace ebem::bem {
+
+/// Hit/miss/occupancy counters; cumulative over the cache's lifetime.
+struct CongruenceCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;  ///< distinct blocks stored
+
+  [[nodiscard]] double hit_rate() const {
+    const std::size_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class CongruenceCache {
+ public:
+  /// Occupancy cap: on pathological (fully graded) grids nearly every pair
+  /// is a distinct class, and an uncapped map would shadow the O(M^2) pair
+  /// count in memory; past the cap lookups keep hitting existing entries
+  /// but misses stop inserting.
+  static constexpr std::size_t kDefaultMaxEntries = 1u << 20;
+
+  explicit CongruenceCache(double quantum = kDefaultCongruenceQuantum,
+                           std::size_t max_entries = kDefaultMaxEntries);
+  CongruenceCache(const CongruenceCache&) = delete;
+  CongruenceCache& operator=(const CongruenceCache&) = delete;
+
+  [[nodiscard]] double quantum() const { return quantum_; }
+
+  /// On a hit copies the stored block into `block` and returns true (counts
+  /// a hit); on a miss returns false (counts a miss).
+  [[nodiscard]] bool lookup(const PairSignature& signature, LocalMatrix& block) const;
+
+  /// Store the block for `signature`; a concurrent duplicate or a full
+  /// cache is silently dropped.
+  void insert(const PairSignature& signature, const LocalMatrix& block);
+
+  [[nodiscard]] CongruenceCacheStats stats() const;
+
+  /// Drop all entries and reset the counters.
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<PairSignature, LocalMatrix, PairSignatureHash> map;
+  };
+
+  /// High hash bits pick the shard; the map's bucket index uses the low
+  /// bits, so shard choice and bucket spread stay independent.
+  [[nodiscard]] const Shard& shard_of(const PairSignature& signature) const {
+    return shards_[signature.hash >> 58];
+  }
+  [[nodiscard]] Shard& shard_of(const PairSignature& signature) {
+    return shards_[signature.hash >> 58];
+  }
+
+  double quantum_;
+  std::size_t max_entries_;
+  std::array<Shard, kShards> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+}  // namespace ebem::bem

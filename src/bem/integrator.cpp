@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/bem/congruence_cache.hpp"
 #include "src/bem/segment_integrals.hpp"
 #include "src/common/error.hpp"
 #include "src/common/math_utils.hpp"
@@ -175,6 +176,17 @@ LocalMatrix Integrator::element_pair_analytic(const BemElement& field,
     }
   }
   return local;
+}
+
+LocalMatrix Integrator::element_pair(const BemElement& field, const BemElement& source,
+                                     CongruenceCache* cache) const {
+  if (cache == nullptr) return element_pair(field, source);
+  const PairSignature signature = make_pair_signature(field, source, cache->quantum());
+  LocalMatrix block;
+  if (cache->lookup(signature, block)) return block;
+  block = element_pair(field, source);
+  cache->insert(signature, block);
+  return block;
 }
 
 std::array<double, 2> Integrator::potential_influence(geom::Vec3 x,

@@ -19,6 +19,8 @@
 
 namespace ebem::bem {
 
+class CongruenceCache;
+
 enum class InnerIntegration {
   kAnalytic,    ///< closed-form inner integral (image kernels only)
   kGauss,       ///< plain inner Gauss quadrature (ablation baseline; poor on
@@ -53,6 +55,12 @@ class Integrator {
   /// (trial) element alpha, all image terms summed (paper eq. 4.5).
   [[nodiscard]] LocalMatrix element_pair(const BemElement& field,
                                          const BemElement& source) const;
+
+  /// Cache-aware variant: a null `cache` is the plain computation; otherwise
+  /// the pair's congruence signature is looked up first and the integration
+  /// runs only on a miss (the result is then stored for congruent pairs).
+  [[nodiscard]] LocalMatrix element_pair(const BemElement& field, const BemElement& source,
+                                         CongruenceCache* cache) const;
 
   /// Potential influence at point x of source element alpha's local DoFs
   /// (paper eq. 4.3): V(x) = sum_i sigma_i * coefficient_i.

@@ -1,0 +1,63 @@
+// Canonical geometric signature of an element pair, the key of the
+// congruence cache (ROADMAP: "geometric congruence caching").
+//
+// Every soil kernel in the library is a layered-medium Green's function and
+// therefore invariant under horizontal rigid motions: translating, rotating
+// (about the vertical axis) or reflecting (through a vertical plane) *both*
+// elements of a pair leaves the Galerkin block R^{beta alpha} unchanged —
+// the images move with the sources and every source/image-to-field distance
+// is preserved. z is special (the surface and layer interfaces are physical
+// planes), so vertical coordinates enter the signature verbatim.
+//
+// The signature is the pair's geometry expressed in a canonical horizontal
+// frame — translate the field start point to the origin, rotate the first
+// non-degenerate direction onto +x, reflect the first off-axis direction to
+// y > 0 — and quantized to an integer lattice. Two pairs congruent up to
+// the quantum map to the same key; on a uniform rectangular grid the
+// M(M+1)/2 pairs collapse into O(M) classes, which is what lets assembly
+// skip almost every integration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/bem/element.hpp"
+
+namespace ebem::bem {
+
+/// Default signature quantization step [m]. Chosen so that two pairs mapped
+/// to the same key have geometries equal to well below the 1e-12 relative
+/// parity tolerance expected between cache-on and cache-off assembly, while
+/// still absorbing the ~1e-14 float noise of the canonicalization itself.
+inline constexpr double kDefaultCongruenceQuantum = 1e-12;
+
+/// Quantized canonical pair geometry plus its precomputed hash.
+struct PairSignature {
+  /// Canonical-frame coordinates on the quantum lattice:
+  /// [0..5]  horizontal field direction u, source direction v and relative
+  ///         offset w (two lattice coordinates each),
+  /// [6..9]  vertical endpoint coordinates z_Fa, z_Fb, z_Sa, z_Sb,
+  /// [10..11] field and source radii,
+  /// [12]    packed (field layer, source layer).
+  std::array<std::int64_t, 13> q{};
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const PairSignature&, const PairSignature&) = default;
+};
+
+struct PairSignatureHash {
+  [[nodiscard]] std::size_t operator()(const PairSignature& s) const noexcept {
+    return static_cast<std::size_t>(s.hash);
+  }
+};
+
+/// Signature of the ordered pair (field, source). The ordering matters: the
+/// cached block is reused verbatim, and endpoint/DoF labels follow the
+/// canonical isometry, so only pairs with matching role and endpoint order
+/// may share a key (swapped roles are related by a transpose, which this
+/// cache deliberately does not exploit).
+[[nodiscard]] PairSignature make_pair_signature(const BemElement& field,
+                                                const BemElement& source,
+                                                double quantum = kDefaultCongruenceQuantum);
+
+}  // namespace ebem::bem

@@ -48,6 +48,23 @@ double PhaseReport::total_cpu_seconds() const {
   return std::accumulate(cpu_.begin(), cpu_.end(), 0.0);
 }
 
+void PhaseReport::add_counter(std::string_view name, double value) {
+  for (auto& [existing, total] : counters_) {
+    if (existing == name) {
+      total += value;
+      return;
+    }
+  }
+  counters_.emplace_back(std::string(name), value);
+}
+
+double PhaseReport::counter(std::string_view name) const {
+  for (const auto& [existing, total] : counters_) {
+    if (existing == name) return total;
+  }
+  return 0.0;
+}
+
 double PhaseReport::cpu_fraction(Phase phase) const {
   const double total = total_cpu_seconds();
   return total > 0.0 ? cpu_seconds(phase) / total : 0.0;
@@ -64,6 +81,12 @@ std::string PhaseReport::to_string() const {
   }
   os << std::left << std::setw(24) << "Total" << std::right << std::fixed << std::setprecision(3)
      << std::setw(14) << total_cpu_seconds() << std::setw(14) << total_wall_seconds() << '\n';
+  if (!counters_.empty()) {
+    os << std::defaultfloat << std::setprecision(6);
+    for (const auto& [name, value] : counters_) {
+      os << std::left << std::setw(24) << name << std::right << std::setw(14) << value << '\n';
+    }
+  }
   return os.str();
 }
 

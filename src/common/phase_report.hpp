@@ -9,6 +9,9 @@
 #include <array>
 #include <cstddef>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ebem {
 
@@ -38,13 +41,28 @@ class PhaseReport {
   /// Fraction of total CPU time spent in `phase` (0 when nothing recorded).
   [[nodiscard]] double cpu_fraction(Phase phase) const;
 
-  /// Multi-line table in the style of the paper's Table 6.1.
+  /// Accumulate a named auxiliary counter (congruence-cache hits, solver
+  /// iterations, ...). Counters are additive across calls, like phase times
+  /// across add(), so rates belong to the caller, not the report.
+  void add_counter(std::string_view name, double value);
+
+  /// Accumulated value of `name`; 0 when never added.
+  [[nodiscard]] double counter(std::string_view name) const;
+
+  /// Counters in first-added order.
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& counters() const {
+    return counters_;
+  }
+
+  /// Multi-line table in the style of the paper's Table 6.1, followed by the
+  /// auxiliary counters when any were recorded.
   [[nodiscard]] std::string to_string() const;
 
  private:
   static constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
   std::array<double, kNumPhases> wall_{};
   std::array<double, kNumPhases> cpu_{};
+  std::vector<std::pair<std::string, double>> counters_;
 };
 
 }  // namespace ebem

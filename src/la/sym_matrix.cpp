@@ -11,9 +11,6 @@ namespace ebem::la {
 
 namespace {
 
-/// Below this dimension the parallel-region overhead exceeds the matvec.
-constexpr std::size_t kParallelMultiplyCutoff = 128;
-
 /// Contiguous row strips with approximately equal packed-entry counts
 /// (row i holds i + 1 entries, so equal-count strips mean equal flops).
 std::vector<std::size_t> balanced_row_strips(std::size_t n, std::size_t strips) {
@@ -51,7 +48,7 @@ void SymMatrix::multiply(std::span<const double> x, std::span<double> y) const {
 
 void SymMatrix::multiply(std::span<const double> x, std::span<double> y,
                          par::ThreadPool* pool) const {
-  if (pool == nullptr || pool->num_threads() <= 1 || n_ < kParallelMultiplyCutoff) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n_ < kParallelCutoff) {
     multiply(x, y);
     return;
   }

@@ -89,6 +89,28 @@ TEST(PhaseReport, ToStringNamesEveryPhase) {
   }
 }
 
+TEST(PhaseReport, CountersAccumulateByName) {
+  PhaseReport report;
+  EXPECT_DOUBLE_EQ(report.counter("Congruence cache hits"), 0.0);
+  report.add_counter("Congruence cache hits", 100.0);
+  report.add_counter("Congruence cache misses", 7.0);
+  report.add_counter("Congruence cache hits", 23.0);
+  EXPECT_DOUBLE_EQ(report.counter("Congruence cache hits"), 123.0);
+  EXPECT_DOUBLE_EQ(report.counter("Congruence cache misses"), 7.0);
+  ASSERT_EQ(report.counters().size(), 2u);
+  // First-added order is preserved.
+  EXPECT_EQ(report.counters()[0].first, "Congruence cache hits");
+}
+
+TEST(PhaseReport, ToStringIncludesCounters) {
+  PhaseReport report;
+  EXPECT_EQ(report.to_string().find("cache"), std::string::npos);
+  report.add_counter("Congruence cache hits", 42.0);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("Congruence cache hits"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
 TEST(PhaseReport, PhaseNames) {
   EXPECT_STREQ(phase_name(Phase::kDataInput), "Data Input");
   EXPECT_STREQ(phase_name(Phase::kResultsStorage), "Results Storage");

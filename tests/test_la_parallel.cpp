@@ -107,7 +107,7 @@ TEST(BlockedCholeskyErrors, RejectsZeroBlock) {
 }
 
 TEST(ParallelMultiply, MatchesSerialWalk) {
-  for (std::size_t n : {1, 8, 128, 301}) {
+  for (std::size_t n : {SymMatrix::kParallelCutoff, SymMatrix::kParallelCutoff + 89}) {
     const SymMatrix a = random_spd(n, static_cast<unsigned>(n));
     const std::vector<double> x = random_vector(n, static_cast<unsigned>(n + 1));
     std::vector<double> serial(n), parallel(n);
@@ -126,8 +126,25 @@ TEST(ParallelMultiply, MatchesSerialWalk) {
   }
 }
 
+TEST(ParallelMultiply, SmallSystemsFallBackToSerialBitwise) {
+  // Minimum-size threshold: below kParallelCutoff the pool dispatch costs
+  // more than the matvec (169-DoF PCG ran 0.37x at 4 threads), so the
+  // pooled overload must take the exact serial path — bitwise, not merely
+  // within reordering tolerance.
+  for (std::size_t n : {std::size_t{1}, std::size_t{8}, std::size_t{169},
+                        SymMatrix::kParallelCutoff - 1}) {
+    const SymMatrix a = random_spd(n, static_cast<unsigned>(100 + n));
+    const std::vector<double> x = random_vector(n, static_cast<unsigned>(n + 1));
+    std::vector<double> serial(n), pooled(n);
+    a.multiply(x, serial);
+    par::ThreadPool pool(4);
+    a.multiply(x, pooled, &pool);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(serial[i], pooled[i]) << "n=" << n << " " << i;
+  }
+}
+
 TEST(ParallelMultiply, DeterministicForFixedPoolSize) {
-  const std::size_t n = 257;
+  const std::size_t n = SymMatrix::kParallelCutoff + 27;
   const SymMatrix a = random_spd(n, 5);
   const std::vector<double> x = random_vector(n, 6);
   par::ThreadPool pool(3);
@@ -140,7 +157,8 @@ TEST(ParallelMultiply, DeterministicForFixedPoolSize) {
 }
 
 TEST(ParallelCg, PoolBackedSolveMatchesSerial) {
-  const std::size_t n = 200;
+  // Above kParallelCutoff so the pooled matvec actually runs in parallel.
+  const std::size_t n = SymMatrix::kParallelCutoff + 88;
   const SymMatrix a = random_spd(n, 11);
   std::vector<double> x_true = random_vector(n, 12);
   std::vector<double> b(n);
