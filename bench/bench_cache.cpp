@@ -1,17 +1,24 @@
 // Congruence-cache bench: assembly wall time with the cache off vs on, hit
 // rate and entry count, plus cache-on/off parity, on two grids:
 //  * the uniform rectangular bench grid (the paper's case; nearly all pairs
-//    are translated/rotated/reflected copies of a few hundred classes), and
+//    are translated/rotated/reflected/transposed copies of a few hundred
+//    classes), and
 //  * a geometrically graded grid, the adversarial low-congruence case the
 //    cache must degrade gracefully on.
 // One JSON line per (grid, threads) for artifact archiving and diffing.
 //
-// Usage: bench_cache [cells] [max_threads] [--check]
+// Usage: bench_cache [cells] [max_threads] [--check] [--warm]
 //   cells        grid cells per side (default 12 -> 312 elements)
 //   max_threads  thread counts 1, 2, 4, ... up to this value (default 1)
 //   --check      CI parity smoke: exit nonzero unless cache-on matches
 //                cache-off to 1e-12 relative on every packed entry, for
 //                every grid and thread count.
+//   --warm       cross-candidate mode: run a ladder of uniform grids of
+//                growing extent (fixed 5 m cell size) through one warm
+//                engine::Study and emit per-candidate hit-rate JSON — the
+//                warm rate of candidate k > 1 vs the cold rate a fresh
+//                cache achieves on the same grid. This is the design_search
+//                reuse pattern in isolation.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +27,8 @@
 
 #include "src/bem/assembly.hpp"
 #include "src/common/timer.hpp"
+#include "src/engine/engine.hpp"
+#include "src/engine/study.hpp"
 #include "src/geom/grid_builder.hpp"
 #include "src/geom/mesh.hpp"
 #include "src/parallel/thread_pool.hpp"
@@ -48,16 +57,72 @@ double best_of(int repeats, const auto& run) {
   return best;
 }
 
+soil::LayeredSoil bench_soil() { return soil::LayeredSoil::two_layer(0.005, 0.016, 1.0); }
+
+bem::BemModel uniform_bench_model(std::size_t cells) {
+  geom::RectGridSpec spec;
+  spec.length_x = 5.0 * static_cast<double>(cells);
+  spec.length_y = 5.0 * static_cast<double>(cells);
+  spec.cells_x = cells;
+  spec.cells_y = cells;
+  return bem::BemModel(geom::Mesh::build(geom::make_rect_grid(spec)), bench_soil());
+}
+
+/// Cross-candidate warm mode: the design_search access pattern — a ladder of
+/// similar grids against one warm engine — reduced to its cache behaviour.
+int run_warm_ladder(std::size_t cells) {
+  const std::size_t first = cells > 6 ? cells - 6 : 2;
+
+  engine::Engine engine;  // serial, warm cache on: isolates cache effects
+  bool warm_beats_cold = true;
+  std::size_t candidate = 0;
+  for (std::size_t c = first; c <= cells; c += 2, ++candidate) {
+    const bem::BemModel model = uniform_bench_model(c);
+
+    const bem::CongruenceCacheStats before = engine.cache_stats();
+    WallTimer warm_timer;
+    (void)engine.assemble(model);
+    const double warm_seconds = warm_timer.seconds();
+    const bem::CongruenceCacheStats warm = engine.cache_stats().delta_since(before);
+
+    // Cold reference: the same candidate against a fresh cache.
+    bem::CongruenceCache cold_cache;
+    bem::AssemblyResult cold;
+    WallTimer cold_timer;
+    cold = bem::assemble(model, {}, {.cache = &cold_cache});
+    const double cold_seconds = cold_timer.seconds();
+    const bem::CongruenceCacheStats cold_stats = cold.cache_stats;
+
+    if (candidate > 0 && warm.hit_rate() <= cold_stats.hit_rate()) warm_beats_cold = false;
+    std::printf(
+        "{\"bench\":\"cache_warm\",\"candidate\":%zu,\"cells\":%zu,\"elements\":%zu,"
+        "\"warm_hits\":%zu,\"warm_misses\":%zu,\"warm_hit_rate\":%.4f,"
+        "\"cold_hit_rate\":%.4f,\"cache_entries\":%zu,"
+        "\"warm_seconds\":%.6f,\"cold_seconds\":%.6f}\n",
+        candidate, c, model.element_count(), warm.hits, warm.misses, warm.hit_rate(),
+        cold_stats.hit_rate(), engine.cache_stats().entries, warm_seconds, cold_seconds);
+  }
+  if (!warm_beats_cold) {
+    std::fprintf(stderr, "bench_cache --warm: a warm candidate did not beat its cold-start "
+                         "hit rate\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t cells = 12;
   std::size_t max_threads = 1;
   bool check = false;
+  bool warm = false;
   std::size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--warm") == 0) {
+      warm = true;
     } else if (positional == 0) {
       cells = std::strtoul(argv[i], nullptr, 10);
       ++positional;
@@ -67,11 +132,19 @@ int main(int argc, char** argv) {
     }
   }
   if (cells == 0 || max_threads == 0) {
-    std::fprintf(stderr, "usage: bench_cache [cells >= 1] [max_threads >= 1] [--check]\n");
+    std::fprintf(stderr,
+                 "usage: bench_cache [cells >= 1] [max_threads >= 1] [--check] [--warm]\n");
     return 1;
   }
+  if (warm && check) {
+    // Refuse rather than silently skip the parity gate: the two modes are
+    // separate CI steps with separate pass criteria.
+    std::fprintf(stderr, "bench_cache: --check and --warm are mutually exclusive modes\n");
+    return 1;
+  }
+  if (warm) return run_warm_ladder(cells);  // serial; max_threads not used
 
-  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const auto soil = bench_soil();
   const double side = 5.0 * static_cast<double>(cells);
 
   geom::RectGridSpec uniform_spec;
@@ -102,19 +175,24 @@ int main(int argc, char** argv) {
     const std::size_t m = grid.model.element_count();
     for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
       par::ThreadPool pool(threads);
-      bem::AssemblyOptions options;
-      options.num_threads = threads;
-      options.schedule = par::Schedule::guided(1);
-      if (threads > 1) options.pool = &pool;
+      bem::AssemblyExecution execution;
+      execution.num_threads = threads;
+      execution.schedule = par::Schedule::guided(1);
+      if (threads > 1) execution.pool = &pool;
 
       bem::AssemblyResult off;
-      const double seconds_off = best_of(2, [&] { off = bem::assemble(grid.model, options); });
+      const double seconds_off =
+          best_of(2, [&] { off = bem::assemble(grid.model, {}, execution); });
 
-      options.use_congruence_cache = true;
       bem::AssemblyResult on;
       // Each repetition owns a cold cache, so the timing includes the
       // signature hashing and warm-up integrations the cache really costs.
-      const double seconds_on = best_of(2, [&] { on = bem::assemble(grid.model, options); });
+      const double seconds_on = best_of(2, [&] {
+        bem::CongruenceCache cache;
+        execution.cache = &cache;
+        on = bem::assemble(grid.model, {}, execution);
+        execution.cache = nullptr;
+      });
 
       const double diff = max_rel_diff(off.matrix.packed(), on.matrix.packed());
       const bool ok = diff <= 1e-12;

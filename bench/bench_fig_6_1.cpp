@@ -39,9 +39,14 @@ int main() {
   cad::DesignOptions options;
   options.analysis.gpr = barbera.gpr;
   options.analysis.assembly.series.tolerance = 1e-6;
-  options.analysis.assembly.measure_column_costs = true;
+  engine::ExecutionConfig config;
+  config.measure_column_costs = true;
+  // Cache off: the measured column costs must reflect the real integration
+  // work the schedule simulator is calibrated against.
+  config.use_congruence_cache = false;
+  engine::Engine engine(config);
   cad::GroundingSystem system(barbera.conductors, barbera.two_layer_soil, options);
-  const cad::Report& report = system.analyze();
+  const cad::Report& report = system.analyze(engine);
   const std::vector<double>& costs = report.column_costs;
 
   double sequential = 0.0;

@@ -82,11 +82,11 @@ int main(int argc, char** argv) {
   bem::AssemblyResult system;
   for (const std::size_t threads : thread_counts) {
     par::ThreadPool pool(threads);
-    bem::AssemblyOptions options;
-    options.num_threads = threads;
-    options.schedule = par::Schedule::guided(1);
-    options.pool = &pool;
-    const double seconds = best_of(2, [&] { system = bem::assemble(model, options); });
+    bem::AssemblyExecution execution;
+    execution.num_threads = threads;
+    execution.schedule = par::Schedule::guided(1);
+    execution.pool = &pool;
+    const double seconds = best_of(2, [&] { system = bem::assemble(model, {}, execution); });
     if (threads == 1) assembly_base = seconds;
     emit("assembly", threads, m, system.matrix.size(), seconds, assembly_base);
   }
@@ -117,12 +117,10 @@ int main(int argc, char** argv) {
   double pcg_base = 0.0;
   for (const std::size_t threads : thread_counts) {
     par::ThreadPool pool(threads);
-    bem::SolverOptions options;
-    options.kind = bem::SolverKind::kPcg;
-    options.num_threads = threads;
-    options.pool = threads > 1 ? &pool : nullptr;
+    const bem::SolverOptions options{.kind = bem::SolverKind::kPcg};
+    const bem::SolveExecution execution{.pool = threads > 1 ? &pool : nullptr};
     const double seconds =
-        best_of(3, [&] { (void)bem::solve(system.matrix, system.rhs, options); });
+        best_of(3, [&] { (void)bem::solve(system.matrix, system.rhs, options, execution); });
     if (threads == 1) pcg_base = seconds;
     emit("pcg", threads, m, system.matrix.size(), seconds, pcg_base);
   }

@@ -18,9 +18,14 @@ int main() {
   cad::DesignOptions options;
   options.analysis.gpr = barbera.gpr;
   options.analysis.assembly.series.tolerance = 1e-6;
-  options.analysis.assembly.measure_column_costs = true;
+  engine::ExecutionConfig measure_config;
+  measure_config.measure_column_costs = true;
+  // Cache off: the measured column costs must reflect the real integration
+  // work the schedule simulator is calibrated against.
+  measure_config.use_congruence_cache = false;
+  engine::Engine measure_engine(measure_config);
   cad::GroundingSystem system(barbera.conductors, barbera.two_layer_soil, options);
-  const cad::Report& report = system.analyze();
+  const cad::Report& report = system.analyze(measure_engine);
   const std::vector<double>& costs = report.column_costs;
   std::printf("Table 6.2 — Barbera two-layer, outer-loop parallelization speed-ups\n");
   std::printf("(measured %zu column costs, simulated schedules; paper values in header)\n\n",
@@ -57,12 +62,13 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
 
   // Real threaded cross-check: same numerics, identical matrix.
-  cad::DesignOptions threaded = options;
-  threaded.analysis.assembly.measure_column_costs = false;
-  threaded.analysis.assembly.num_threads = 2;
-  threaded.analysis.assembly.schedule = par::Schedule::dynamic(1);
-  cad::GroundingSystem check(barbera.conductors, barbera.two_layer_soil, threaded);
-  const cad::Report& threaded_report = check.analyze();
+  engine::ExecutionConfig threaded_config;
+  threaded_config.num_threads = 2;
+  threaded_config.schedule = par::Schedule::dynamic(1);
+  threaded_config.use_congruence_cache = false;  // bitwise check below
+  engine::Engine threaded_engine(threaded_config);
+  cad::GroundingSystem check(barbera.conductors, barbera.two_layer_soil, options);
+  const cad::Report& threaded_report = check.analyze(threaded_engine);
   std::printf("Threaded run (2 threads, Dynamic,1): Req = %.6f vs sequential %.6f — %s\n",
               threaded_report.equivalent_resistance, report.equivalent_resistance,
               threaded_report.equivalent_resistance == report.equivalent_resistance

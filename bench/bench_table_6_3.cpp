@@ -34,9 +34,13 @@ int main() {
     cad::DesignOptions options;
     options.analysis.gpr = balaidos.gpr;
     options.analysis.assembly.series.tolerance = 1e-6;
-    options.analysis.assembly.measure_column_costs = true;
+    engine::ExecutionConfig config;
+    config.measure_column_costs = true;
+    // Cache off: measured column costs feed the schedule simulator.
+    config.use_congruence_cache = false;
+    engine::Engine engine(config);
     cad::GroundingSystem system(balaidos.conductors, model.soil, options);
-    const cad::Report& report = system.analyze();
+    const cad::Report& report = system.analyze(engine);
     const double t1 = report.phases.cpu_seconds(Phase::kMatrixGeneration);
     if (model.name[0] == 'B') time_b = t1;
     if (model.name[0] == 'C') time_c = t1;

@@ -31,13 +31,21 @@ int main() {
 
   const cad::DesignSearchResult result = cad::search_design(soil, goal, options);
 
-  io::Table table({"candidate", "Req (Ohm)", "max touch (V)", "max step (V)", "verdict"});
+  // The whole ladder ran through one engine::Study, so each candidate's
+  // "cache" column shows how much of its matrix generation was replayed
+  // from the blocks earlier candidates already integrated.
+  io::Table table({"candidate", "Req (Ohm)", "max touch (V)", "max step (V)", "cache hit %",
+                   "verdict"});
   for (const cad::DesignCandidate& candidate : result.history) {
     table.add_row({candidate.label(), io::Table::num(candidate.resistance),
                    io::Table::num(candidate.max_touch, 0), io::Table::num(candidate.max_step, 0),
+                   io::Table::num(100.0 * candidate.cache.hit_rate(), 1),
                    candidate.satisfied ? "PASS" : "fail"});
   }
   std::printf("%s\n", table.to_string().c_str());
+  std::printf("Ladder totals: %zu cache hits, %zu misses (%.1f%% of pair integrations saved)\n\n",
+              result.cache_stats.hits, result.cache_stats.misses,
+              100.0 * result.cache_stats.hit_rate());
 
   if (result.satisfied) {
     std::printf("Chosen design: %s (%zu conductors)\n", result.chosen.label().c_str(),

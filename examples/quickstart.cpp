@@ -4,6 +4,7 @@
 //   $ ./quickstart
 //
 // Walkthrough of the core public API: grid builders -> LayeredSoil ->
+// engine::Engine (one execution context for the whole session) ->
 // GroundingSystem -> report -> surface potentials.
 #include <cstdio>
 
@@ -30,23 +31,51 @@ int main() {
   const auto uniform = soil::LayeredSoil::uniform(0.02);             // 50 Ohm m
   const auto layered = soil::LayeredSoil::two_layer(0.005, 0.02, 1.0);  // 200 / 50 Ohm m
 
-  // 3. Analyze at a 10 kV Ground Potential Rise.
+  // 3. One Engine for the whole session: every execution knob (threads,
+  //    schedule, warm congruence cache, solver) lives in a single validated
+  //    ExecutionConfig, configured once. The defaults — serial, direct
+  //    solver, warm cache on — are right for a quick look; bump num_threads
+  //    for large grids. The cache re-warms automatically when the soil
+  //    changes between runs.
+  engine::Engine engine;
+
+  // 4. Analyze at a 10 kV Ground Potential Rise. Physics options (GPR,
+  //    meshing, series tolerances) stay with the design; the engine carries
+  //    the execution state.
   cad::DesignOptions options;
   options.analysis.gpr = 10e3;
 
   for (const auto& [name, soil_model] :
        {std::pair{"uniform", uniform}, std::pair{"two-layer", layered}}) {
     cad::GroundingSystem system(grid, soil_model, options);
-    const cad::Report& report = system.analyze();
+    const cad::Report& report = system.analyze(engine);
     std::printf("=== %s soil ===\n", name);
     std::printf("  Req  = %.4f Ohm\n", report.equivalent_resistance);
     std::printf("  I    = %.2f kA\n", report.total_current / 1e3);
     std::printf("  mesh = %zu elements, %zu DoF\n", report.element_count, report.dof_count);
+    std::printf("  cache: %zu replayed / %zu integrated\n", report.cache_stats.hits,
+                report.cache_stats.misses);
 
-    // 4. Surface potential right above the grid center and one step outside.
+    // 5. Surface potential right above the grid center and one step outside.
     const auto evaluator = system.potential_evaluator();
     std::printf("  V(center)  = %.0f V\n", evaluator.at({20.0, 15.0, 0.0}));
     std::printf("  V(outside) = %.0f V\n\n", evaluator.at({60.0, 15.0, 0.0}));
   }
+
+  // 6. Factor once, solve often: a FactoredSystem answers any number of
+  //    right-hand sides with substitutions only — the pattern parameter
+  //    sweeps and safety scans build on (see safety_assessment.cpp).
+  cad::GroundingSystem system(grid, layered, options);
+  engine::Study study(engine, options.analysis);
+  const engine::FactoredSystem factored = study.factor(system.model());
+  const std::vector<double> sigma_hat = factored.solve();  // unit-GPR solution
+  double current = 0.0;
+  for (std::size_t i = 0; i < sigma_hat.size(); ++i) current += factored.rhs()[i] * sigma_hat[i];
+  std::printf("Factored once (N = %zu): Req from factor reuse = %.4f Ohm\n", factored.size(),
+              1.0 / current);
+  std::printf("Session totals: %.0f factorizations, %.0f RHS solved, cache %zu entries\n",
+              engine.report().counter(engine::kFactorizationsCounter),
+              engine.report().counter(engine::kRhsSolvedCounter),
+              engine.cache_stats().entries);
   return 0;
 }

@@ -8,13 +8,16 @@
 
 namespace {
 
-ebem::post::SafetyAssessment assess(const std::vector<ebem::geom::Conductor>& grid,
+ebem::post::SafetyAssessment assess(ebem::engine::Engine& engine,
+                                    const std::vector<ebem::geom::Conductor>& grid,
                                     const ebem::soil::LayeredSoil& soil, double gpr,
                                     const ebem::post::SafetyCriteria& criteria) {
   ebem::cad::DesignOptions options;
   options.analysis.gpr = gpr;
   ebem::cad::GroundingSystem system(grid, soil, options);
-  system.analyze();
+  // Both assessments run on one engine: the strengthened design replays
+  // every elemental block the sparse design shares with it.
+  system.analyze(engine);
   const auto evaluator = system.potential_evaluator();
   return ebem::post::assess_safety(evaluator, gpr, -5.0, 45.0, -5.0, 35.0, 11, 9, criteria);
 }
@@ -40,13 +43,16 @@ int main() {
   criteria.surface_resistivity = 2500.0;   // crushed-rock dressing
   criteria.surface_layer_thickness = 0.1;
 
+  engine::Engine engine;
+
   // Initial design: a sparse 40 x 30 m grid.
   geom::RectGridSpec sparse;
   sparse.length_x = 40.0;
   sparse.length_y = 30.0;
   sparse.cells_x = 2;
   sparse.cells_y = 2;
-  print("Initial design (2x2 mesh):", assess(geom::make_rect_grid(sparse), soil, gpr, criteria));
+  print("Initial design (2x2 mesh):",
+        assess(engine, geom::make_rect_grid(sparse), soil, gpr, criteria));
 
   // Strengthened design: denser mesh + perimeter rods reaching the
   // conductive lower layer.
@@ -57,7 +63,8 @@ int main() {
   geom::RodSpec rod;
   rod.length = 3.0;
   geom::add_rods(grid, geom::perimeter_rod_positions(dense, 16), dense.depth, rod);
-  print("\nStrengthened design (6x5 mesh + 16 rods):", assess(grid, soil, gpr, criteria));
+  print("\nStrengthened design (6x5 mesh + 16 rods):",
+        assess(engine, grid, soil, gpr, criteria));
 
   std::printf("\nMesh densification flattens the surface potential inside the grid and the\n"
               "rods couple into the conductive lower layer, pulling touch voltages down.\n");

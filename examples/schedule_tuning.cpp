@@ -23,10 +23,15 @@ int main() {
   const auto soil = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
 
   cad::DesignOptions options;
-  options.analysis.assembly.measure_column_costs = true;
   options.analysis.assembly.series.tolerance = 1e-6;
+  // Execution setup is the Engine's job now: one config carries the
+  // measurement switch; cache off so costs reflect real integration work.
+  engine::ExecutionConfig config;
+  config.measure_column_costs = true;
+  config.use_congruence_cache = false;
+  engine::Engine engine(config);
   cad::GroundingSystem system(grid, soil, options);
-  const cad::Report& report = system.analyze();
+  const cad::Report& report = system.analyze(engine);
   std::printf("Measured %zu column costs (matrix generation %.2f s CPU)\n\n",
               report.column_costs.size(),
               report.phases.cpu_seconds(Phase::kMatrixGeneration));

@@ -5,6 +5,7 @@
 // example shows the full workflow on a synthetic survey.
 //
 //   $ ./soil_estimation
+#include <cmath>
 #include <cstdio>
 
 #include "src/ebem.hpp"
@@ -33,7 +34,11 @@ int main() {
   std::printf("  rho1 = %.1f Ohm m, rho2 = %.1f Ohm m, H = %.2f m\n",
               fit.soil.resistivity(0), fit.soil.resistivity(1), fit.soil.interface_depth(0));
 
-  // Use the fitted model in an actual grounding analysis.
+  // Use the fitted model in an actual grounding analysis, and quantify the
+  // fit's leverage with a GPR sweep off one factorization: the normalized
+  // problem is solved once per soil; every GPR scales it (paper §2), and a
+  // FactoredSystem would answer arbitrary further right-hand sides without
+  // refactoring.
   geom::RectGridSpec spec;
   spec.length_x = 30.0;
   spec.length_y = 30.0;
@@ -41,9 +46,20 @@ int main() {
   spec.cells_y = 3;
   cad::DesignOptions options;
   options.analysis.gpr = 10e3;
+  engine::Engine engine;
   cad::GroundingSystem system(geom::make_rect_grid(spec), fit.soil, options);
-  const cad::Report& report = system.analyze();
+  const cad::Report& report = system.analyze(engine);
   std::printf("\nGrid analysis with fitted soil: Req = %.4f Ohm, I = %.2f kA\n",
               report.equivalent_resistance, report.total_current / 1e3);
+
+  // Cross-check against the ground truth through the same warm engine; the
+  // soil change re-fingerprints the cache automatically.
+  cad::GroundingSystem truth_system(geom::make_rect_grid(spec), truth, options);
+  const cad::Report& truth_report = truth_system.analyze(engine);
+  std::printf("Same grid in the true soil:     Req = %.4f Ohm (fit error %.2f%%)\n",
+              truth_report.equivalent_resistance,
+              100.0 * std::abs(report.equivalent_resistance -
+                               truth_report.equivalent_resistance) /
+                  truth_report.equivalent_resistance);
   return 0;
 }

@@ -1,55 +1,34 @@
 #include "src/bem/analysis.hpp"
 
-#include <optional>
-
 #include "src/common/error.hpp"
 #include "src/common/timer.hpp"
 #include "src/la/blas1.hpp"
-#include "src/parallel/thread_pool.hpp"
 
 namespace ebem::bem {
 
 AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
-                       PhaseReport* report) {
+                       const AnalysisExecution& execution, PhaseReport* report) {
   EBEM_EXPECT(options.gpr > 0.0, "GPR must be positive");
   AnalysisResult result;
 
-  // One worker pool is shared by the assembly and solve phases instead of
-  // each phase spawning (and joining) its own threads. Sharing only applies
-  // when both phases request the same worker count — a supplied pool's size
-  // takes precedence inside each phase, so handing a bigger shared pool to
-  // the smaller phase would silently override its num_threads.
-  AnalysisOptions run = options;
-  std::optional<par::ThreadPool> pool;
-  const bool assembly_wants = run.assembly.pool == nullptr && run.assembly.num_threads > 1 &&
-                              run.assembly.backend == Backend::kThreadPool;
-  const bool solver_wants = run.solver.pool == nullptr && run.solver.num_threads > 1;
-  if (assembly_wants && solver_wants &&
-      run.assembly.num_threads == run.solver.num_threads) {
-    pool.emplace(run.assembly.num_threads);
-    run.assembly.pool = &*pool;
-    run.solver.pool = &*pool;
-  }
-
   WallTimer wall;
   CpuTimer cpu;
-  // An external cache's stats are cumulative over its lifetime; snapshot
-  // them so the report below can record this run's delta instead of
-  // re-adding earlier runs' counts on every analyze() call.
+  // A shared cache's stats are cumulative over its lifetime; snapshot them
+  // so the report below can record this run's delta instead of re-adding
+  // earlier runs' counts on every analyze() call.
   const CongruenceCacheStats cache_before =
-      run.assembly.congruence_cache != nullptr ? run.assembly.congruence_cache->stats()
-                                               : CongruenceCacheStats{};
-  AssemblyResult system = assemble(model, run.assembly);
+      execution.assembly.cache != nullptr ? execution.assembly.cache->stats()
+                                          : CongruenceCacheStats{};
+  AssemblyResult system = assemble(model, options.assembly, execution.assembly);
   result.cache_stats = system.cache_stats;
   if (report != nullptr) {
     report->add(Phase::kMatrixGeneration, wall.seconds(), cpu.seconds());
-    if (run.assembly.use_congruence_cache || run.assembly.congruence_cache != nullptr) {
+    if (execution.assembly.cache != nullptr) {
       // Raw additive counters only — a hit *rate* would not accumulate
       // meaningfully across repeated analyze() calls into one report.
-      report->add_counter("Congruence cache hits",
-                          static_cast<double>(system.cache_stats.hits - cache_before.hits));
-      report->add_counter("Congruence cache misses",
-                          static_cast<double>(system.cache_stats.misses - cache_before.misses));
+      const CongruenceCacheStats delta = system.cache_stats.delta_since(cache_before);
+      report->add_counter(kCacheHitsCounter, static_cast<double>(delta.hits));
+      report->add_counter(kCacheMissesCounter, static_cast<double>(delta.misses));
     }
   }
 
@@ -57,7 +36,7 @@ AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
   cpu.reset();
   // Normalized problem: R sigma_hat = nu with V_Gamma = 1.
   std::vector<double> sigma_hat =
-      solve(system.matrix, system.rhs, run.solver, &result.solve_stats);
+      solve(system.matrix, system.rhs, execution.solver, execution.solve, &result.solve_stats);
   if (report != nullptr) {
     report->add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
   }
@@ -77,6 +56,11 @@ AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
     report->add(Phase::kResultsStorage, wall.seconds(), cpu.seconds());
   }
   return result;
+}
+
+AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
+                       PhaseReport* report) {
+  return analyze(model, options, AnalysisExecution{}, report);
 }
 
 }  // namespace ebem::bem

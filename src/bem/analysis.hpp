@@ -14,10 +14,29 @@
 
 namespace ebem::bem {
 
+/// Names of the cache counters analyze() (and the engine's factor path)
+/// accumulate on a PhaseReport — shared constants so every producer lands
+/// on one session total.
+inline constexpr const char* kCacheHitsCounter = "Congruence cache hits";
+inline constexpr const char* kCacheMissesCounter = "Congruence cache misses";
+
+/// Physics of one analysis: what system to build and at which GPR. The
+/// solver choice and all execution state (threads, pools, caches) are
+/// supplied separately through AnalysisExecution — or, at the session level,
+/// once through an engine::ExecutionConfig.
 struct AnalysisOptions {
   AssemblyOptions assembly;
-  SolverOptions solver;
   double gpr = 1.0;  ///< Ground Potential Rise V_Gamma [V]
+
+  friend bool operator==(const AnalysisOptions&, const AnalysisOptions&) = default;
+};
+
+/// Resolved execution plan for one analysis (assembly + solve phases). The
+/// default runs the serial reference path with the direct solver.
+struct AnalysisExecution {
+  AssemblyExecution assembly;
+  SolverOptions solver;
+  SolveExecution solve;
 };
 
 struct AnalysisResult {
@@ -31,9 +50,17 @@ struct AnalysisResult {
   CongruenceCacheStats cache_stats;    ///< forwarded from assembly (zeros if disabled)
 };
 
-/// Run the analysis. `report`, when provided, accumulates per-phase timings
-/// for the Table 6.1 style breakdown (matrix generation vs solve vs rest).
+/// Run the analysis under an explicit execution plan. `report`, when
+/// provided, accumulates per-phase timings for the Table 6.1 style breakdown
+/// (matrix generation vs solve vs rest) plus the cache counters.
 [[nodiscard]] AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
+                                     const AnalysisExecution& execution,
+                                     PhaseReport* report = nullptr);
+
+/// Serial reference shim: default execution, no warm resources. Sessions
+/// that run many analyses should go through engine::Engine / engine::Study
+/// instead, which keep one pool and one warm cache across calls.
+[[nodiscard]] AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options = {},
                                      PhaseReport* report = nullptr);
 
 }  // namespace ebem::bem

@@ -102,8 +102,9 @@ std::vector<double> build_rhs(const BemModel& model, BasisKind basis) {
 
 }  // namespace
 
-AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options) {
-  EBEM_EXPECT(options.num_threads >= 1, "need at least one thread");
+AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
+                        const AssemblyExecution& execution) {
+  EBEM_EXPECT(execution.num_threads >= 1, "need at least one thread");
   const BasisKind basis = options.integrator.basis;
   const std::size_t m = model.element_count();
   const std::size_t n = model.dof_count(basis);
@@ -124,21 +125,15 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options) {
   result.rhs = build_rhs(model, basis);
   result.element_pairs = m * (m + 1) / 2;
 
-  // Congruence cache: owned per run unless the caller supplied one to keep
-  // warm across assemblies. Null stays null when the feature is off — the
-  // cached element_pair overload then degenerates to the plain computation.
-  std::optional<CongruenceCache> owned_cache;
-  CongruenceCache* cache = options.congruence_cache;
-  if (cache == nullptr && options.use_congruence_cache) {
-    owned_cache.emplace(options.congruence_quantum);
-    cache = &*owned_cache;
-  }
+  // Congruence cache: referenced, never owned — a null cache means the
+  // cached element_pair overload degenerates to the plain computation.
+  CongruenceCache* cache = execution.cache;
   const auto finalize_stats = [&] {
     if (cache != nullptr) result.cache_stats = cache->stats();
   };
 
-  const bool sequential =
-      options.num_threads == 1 && options.pool == nullptr && !options.measure_column_costs;
+  const bool sequential = execution.num_threads == 1 && execution.pool == nullptr &&
+                          !execution.measure_column_costs;
   if (sequential) {
     // Original sequential scheme: compute and assemble inside the loop.
     for (std::size_t beta = 0; beta < m; ++beta) {
@@ -164,23 +159,23 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options) {
     scatter(model, basis, beta, alpha, local,
             [&](std::size_t j, std::size_t i, double v) { striped.add(j, i, v); });
   };
-  if (options.measure_column_costs) result.column_costs.assign(m, 0.0);
+  if (execution.measure_column_costs) result.column_costs.assign(m, 0.0);
 
   std::optional<par::ThreadPool> owned_pool;
-  par::ThreadPool* pool = options.pool;
-  if (pool == nullptr && options.backend == Backend::kThreadPool) {
-    owned_pool.emplace(options.num_threads);
+  par::ThreadPool* pool = execution.pool;
+  if (pool == nullptr && execution.backend == Backend::kThreadPool) {
+    owned_pool.emplace(execution.num_threads);
     pool = &*owned_pool;
   }
   const auto run_loop = [&](std::size_t count, const auto& body) {
-    if (options.backend == Backend::kOpenMp) {
-      par::openmp_parallel_for(options.num_threads, count, options.schedule, body);
+    if (execution.backend == Backend::kOpenMp) {
+      par::openmp_parallel_for(execution.num_threads, count, execution.schedule, body);
     } else {
-      par::parallel_for(*pool, count, options.schedule, body);
+      par::parallel_for(*pool, count, execution.schedule, body);
     }
   };
 
-  if (options.loop == ParallelLoop::kOuter) {
+  if (execution.loop == ParallelLoop::kOuter) {
     run_loop(m, [&](std::size_t beta) {
       WallTimer timer;
       for (std::size_t alpha = beta; alpha < m; ++alpha) fused_pair(beta, alpha);

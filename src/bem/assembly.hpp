@@ -46,6 +46,10 @@ enum class Backend {
                 ///< sequential fallback when built without OpenMP
 };
 
+/// Physics and discretization of the Galerkin system — what is integrated.
+/// How the work is executed (threads, schedules, caches) lives in
+/// AssemblyExecution; a single engine::ExecutionConfig resolves to one and
+/// is the recommended way to set it up.
 struct AssemblyOptions {
   IntegratorOptions integrator;
   soil::SeriesOptions series;
@@ -54,30 +58,31 @@ struct AssemblyOptions {
   /// Gauss integration). The loose default reflects that quadrature error
   /// dominates the spectral tolerance there.
   soil::HankelOptions hankel{.tolerance = 1e-7};
+
+  friend bool operator==(const AssemblyOptions&, const AssemblyOptions&) = default;
+};
+
+/// Resolved execution plumbing for one assembly: worker resources and the
+/// congruence cache are *referenced*, not owned, so repeated assemblies can
+/// share warm threads and a warm cache (see engine::Engine, which owns both
+/// and hands out a consistent AssemblyExecution). The default is the serial
+/// cache-less reference path.
+struct AssemblyExecution {
   std::size_t num_threads = 1;
+  /// Externally owned worker pool for Backend::kThreadPool; when set its
+  /// thread count takes precedence over num_threads.
+  par::ThreadPool* pool = nullptr;
   par::Schedule schedule = par::Schedule::dynamic(1);
   ParallelLoop loop = ParallelLoop::kOuter;
   Backend backend = Backend::kThreadPool;
   /// Record the wall-clock cost of each outer column (feeds the schedule
   /// simulator used by the Fig. 6.1 / Table 6.2 / Table 6.3 benches).
   bool measure_column_costs = false;
-  /// Optional externally owned worker pool for Backend::kThreadPool; when
-  /// set its thread count takes precedence over num_threads, and repeated
-  /// assemblies reuse the same workers instead of spawning fresh threads.
-  par::ThreadPool* pool = nullptr;
-  /// Integrate each distinct pair geometry once and replay the cached block
-  /// for congruent copies (translation/rotation/reflection in the horizontal
-  /// plane; see pair_signature.hpp). Uniform rectangular grids collapse to
-  /// a few hundred classes; fully graded grids degrade gracefully to ~0%
-  /// hits plus the signature-hashing overhead.
-  bool use_congruence_cache = false;
-  /// Signature quantization step [m]; keep at (or below) the parity
-  /// tolerance expected between cache-on and cache-off assembly.
-  double congruence_quantum = kDefaultCongruenceQuantum;
-  /// Optional externally owned cache, reused across repeated assemblies
-  /// (implies use_congruence_cache; its quantum takes precedence). Only
-  /// valid while soil model and integrator/series options are unchanged.
-  CongruenceCache* congruence_cache = nullptr;
+  /// Congruence cache: non-null integrates each distinct pair geometry once
+  /// and replays the 2x2 block for congruent copies (see pair_signature.hpp).
+  /// Only valid while soil model and integrator/series options are
+  /// unchanged; stats on the cache are cumulative over its lifetime.
+  CongruenceCache* cache = nullptr;
 };
 
 struct AssemblyResult {
@@ -90,7 +95,9 @@ struct AssemblyResult {
   CongruenceCacheStats cache_stats;
 };
 
-/// Generate the Galerkin system for the model under the given options.
-[[nodiscard]] AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options);
+/// Generate the Galerkin system for the model under the given options and
+/// execution plan (default: sequential, no cache).
+[[nodiscard]] AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options = {},
+                                      const AssemblyExecution& execution = {});
 
 }  // namespace ebem::bem

@@ -33,6 +33,16 @@ void CongruenceCache::insert(const PairSignature& signature, const LocalMatrix& 
   }
 }
 
+bool CongruenceCache::lookup(const CanonicalPairSignature& signature, LocalMatrix& block) const {
+  if (!lookup(signature.signature, block)) return false;
+  if (signature.transposed) block = transposed(block);
+  return true;
+}
+
+void CongruenceCache::insert(const CanonicalPairSignature& signature, const LocalMatrix& block) {
+  insert(signature.signature, signature.transposed ? transposed(block) : block);
+}
+
 CongruenceCacheStats CongruenceCache::stats() const {
   CongruenceCacheStats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
@@ -41,14 +51,18 @@ CongruenceCacheStats CongruenceCache::stats() const {
   return stats;
 }
 
-void CongruenceCache::clear() {
+void CongruenceCache::drop_entries() {
   for (Shard& shard : shards_) {
     const std::scoped_lock lock(shard.mutex);
     shard.map.clear();
   }
+  entries_.store(0, std::memory_order_relaxed);
+}
+
+void CongruenceCache::clear() {
+  drop_entries();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
-  entries_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ebem::bem

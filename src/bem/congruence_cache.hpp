@@ -39,6 +39,20 @@ struct CongruenceCacheStats {
     const std::size_t total = hits + misses;
     return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
   }
+
+  /// Counters accumulated since `before` was snapshotted from the same
+  /// cache — the per-run delta every session consumer (Study, Report,
+  /// design ladder, warm bench) reports. Saturates at zero instead of
+  /// wrapping if the counters were reset (clear()) between the snapshots;
+  /// `entries` is the current occupancy, not a difference.
+  [[nodiscard]] CongruenceCacheStats delta_since(const CongruenceCacheStats& before) const {
+    const auto sub = [](std::size_t now, std::size_t then) {
+      return now >= then ? now - then : std::size_t{0};
+    };
+    return {.hits = sub(hits, before.hits),
+            .misses = sub(misses, before.misses),
+            .entries = entries};
+  }
 };
 
 class CongruenceCache {
@@ -64,9 +78,22 @@ class CongruenceCache {
   /// cache is silently dropped.
   void insert(const PairSignature& signature, const LocalMatrix& block);
 
+  /// Role-canonical variants: blocks are stored in the canonical (field,
+  /// source) orientation, so a transposed signature transposes the block on
+  /// the way in and back out — one entry serves both orientations of a
+  /// congruence class (field/source transpose reciprocity).
+  [[nodiscard]] bool lookup(const CanonicalPairSignature& signature, LocalMatrix& block) const;
+  void insert(const CanonicalPairSignature& signature, const LocalMatrix& block);
+
   [[nodiscard]] CongruenceCacheStats stats() const;
 
-  /// Drop all entries and reset the counters.
+  /// Drop all stored blocks but keep the lifetime hit/miss counters, so
+  /// before/after deltas taken around the drop stay monotonic — what the
+  /// Engine's physics-fingerprint guard needs when the soil or integrator
+  /// options change mid-session.
+  void drop_entries();
+
+  /// Drop all entries and reset the counters (full cold start).
   void clear();
 
  private:

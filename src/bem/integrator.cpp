@@ -181,7 +181,11 @@ LocalMatrix Integrator::element_pair_analytic(const BemElement& field,
 LocalMatrix Integrator::element_pair(const BemElement& field, const BemElement& source,
                                      CongruenceCache* cache) const {
   if (cache == nullptr) return element_pair(field, source);
-  const PairSignature signature = make_pair_signature(field, source, cache->quantum());
+  // Role-canonical key: well-separated pairs share one entry with their
+  // swapped-role congruent copies (replayed transposed); near pairs keep the
+  // ordered key, where the transpose identity is only quadrature-accurate.
+  const CanonicalPairSignature signature =
+      make_canonical_pair_signature(field, source, cache->quantum());
   LocalMatrix block;
   if (cache->lookup(signature, block)) return block;
   block = element_pair(field, source);

@@ -37,12 +37,25 @@ struct IntegratorOptions {
   InnerIntegration inner = InnerIntegration::kAnalytic;
   std::size_t outer_gauss_points = 8;
   std::size_t inner_gauss_points = 8;  ///< used only by InnerIntegration::kGauss
+
+  friend bool operator==(const IntegratorOptions&, const IntegratorOptions&) = default;
 };
 
 /// Up-to-2x2 elemental matrix block (local test DoF x local trial DoF).
 struct LocalMatrix {
   std::array<std::array<double, 2>, 2> value{};
 };
+
+/// Role-swapped block: by Galerkin reciprocity the transpose of R^{beta
+/// alpha} is the block of the reversed ordered pair (see
+/// kTransposeSeparationRatio for the numerical caveat).
+[[nodiscard]] inline LocalMatrix transposed(const LocalMatrix& block) {
+  LocalMatrix t;
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t q = 0; q < 2; ++q) t.value[p][q] = block.value[q][p];
+  }
+  return t;
+}
 
 /// Evaluates elemental coefficients against a fixed soil kernel.
 class Integrator {

@@ -54,10 +54,37 @@ struct PairSignatureHash {
 /// Signature of the ordered pair (field, source). The ordering matters: the
 /// cached block is reused verbatim, and endpoint/DoF labels follow the
 /// canonical isometry, so only pairs with matching role and endpoint order
-/// may share a key (swapped roles are related by a transpose, which this
-/// cache deliberately does not exploit).
+/// may share a key. Swapped roles are related by a transpose — exploited
+/// separately by make_canonical_pair_signature below.
 [[nodiscard]] PairSignature make_pair_signature(const BemElement& field,
                                                 const BemElement& source,
                                                 double quantum = kDefaultCongruenceQuantum);
+
+/// Galerkin reciprocity: with identical test and trial families the block of
+/// the swapped ordered pair is the transpose, R^{alpha beta} = (R^{beta
+/// alpha})^T. That is exact in exact arithmetic; numerically the outer-Gauss
+/// / inner-analytic split breaks it by the outer quadrature error, which on
+/// the bench grids measures ~1e-4 relative for pairs closer than two element
+/// lengths, ~4e-13 at two-to-three lengths, and <= 6e-14 beyond three. Only
+/// past this ratio may a cached block be replayed transposed without
+/// violating the 1e-12 cache-on/cache-off parity contract.
+inline constexpr double kTransposeSeparationRatio = 3.0;
+
+/// Role-canonical signature: the lexicographically smaller of the (field,
+/// source) and (source, field) ordered signatures, so both orientations of a
+/// congruence class share one cache entry. `transposed` records whether the
+/// swapped order won — the stored block is then kept in canonical
+/// orientation and transposed back on replay. Pairs closer than
+/// kTransposeSeparationRatio element lengths keep the ordered signature
+/// (transposed == false): for them the transpose identity only holds to
+/// quadrature accuracy, far above the cache parity tolerance.
+struct CanonicalPairSignature {
+  PairSignature signature;
+  bool transposed = false;
+};
+
+[[nodiscard]] CanonicalPairSignature make_canonical_pair_signature(
+    const BemElement& field, const BemElement& source,
+    double quantum = kDefaultCongruenceQuantum);
 
 }  // namespace ebem::bem

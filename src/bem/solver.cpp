@@ -1,7 +1,5 @@
 #include "src/bem/solver.hpp"
 
-#include <optional>
-
 #include "src/common/error.hpp"
 #include "src/la/blas1.hpp"
 #include "src/la/cg.hpp"
@@ -11,20 +9,14 @@
 namespace ebem::bem {
 
 std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> rhs,
-                          const SolverOptions& options, SolveStats* stats) {
-  EBEM_EXPECT(options.num_threads >= 1, "need at least one thread");
-  std::optional<par::ThreadPool> owned_pool;
-  par::ThreadPool* pool = nullptr;
-  if (options.num_threads > 1) {
-    pool = options.pool;
-    if (pool == nullptr) {
-      owned_pool.emplace(options.num_threads);
-      pool = &*owned_pool;
-    }
-  }
+                          const SolverOptions& options, const SolveExecution& execution,
+                          SolveStats* stats) {
+  par::ThreadPool* pool =
+      (execution.pool != nullptr && execution.pool->num_threads() > 1) ? execution.pool
+                                                                       : nullptr;
 
   if (options.kind == SolverKind::kCholesky) {
-    const la::Cholesky factor(matrix, {.block = options.cholesky_block, .pool = pool});
+    const la::Cholesky factor(matrix, {.block = execution.cholesky_block, .pool = pool});
     std::vector<double> x = factor.solve(rhs);
     if (stats != nullptr) {
       // Report the achieved residual for parity with the iterative path.
@@ -50,6 +42,11 @@ std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> r
     stats->relative_residual = result.relative_residual;
   }
   return std::move(result.x);
+}
+
+std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> rhs,
+                          const SolverOptions& options, SolveStats* stats) {
+  return solve(matrix, rhs, options, SolveExecution{}, stats);
 }
 
 }  // namespace ebem::bem

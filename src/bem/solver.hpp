@@ -23,14 +23,20 @@ enum class SolverKind {
   kPcg,       ///< Jacobi-preconditioned CG (paper's recommendation)
 };
 
+/// Numerical policy of the solve — which algorithm, to what accuracy.
+/// Worker resources live in SolveExecution (the old num_threads/pool knobs:
+/// a single engine::ExecutionConfig now resolves them once, which also
+/// retires the footgun of a supplied pool being silently ignored whenever
+/// num_threads stayed 1).
 struct SolverOptions {
   SolverKind kind = SolverKind::kCholesky;
   double cg_tolerance = 1e-12;
   std::size_t cg_max_iterations = 0;  ///< 0 = automatic
-  /// Worker count for the solve phase; 1 keeps the serial reference path.
-  std::size_t num_threads = 1;
-  /// Optional externally owned pool reused instead of spawning workers;
-  /// only consulted when num_threads > 1.
+};
+
+/// Resolved execution plumbing for one solve. The pool is referenced, not
+/// owned; null keeps the serial reference path.
+struct SolveExecution {
   par::ThreadPool* pool = nullptr;
   /// Panel width of the blocked Cholesky factorization.
   std::size_t cholesky_block = 64;
@@ -43,6 +49,12 @@ struct SolveStats {
 
 /// Solve R sigma = nu. Throws if PCG fails to converge.
 [[nodiscard]] std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> rhs,
-                                        const SolverOptions& options, SolveStats* stats = nullptr);
+                                        const SolverOptions& options = {},
+                                        const SolveExecution& execution = {},
+                                        SolveStats* stats = nullptr);
+
+/// Serial shim of the above for callers without an execution plan.
+[[nodiscard]] std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> rhs,
+                                        const SolverOptions& options, SolveStats* stats);
 
 }  // namespace ebem::bem

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "src/common/error.hpp"
 #include "src/geom/grid_builder.hpp"
@@ -21,6 +22,24 @@ DesignSearchResult search_design(const soil::LayeredSoil& soil, const DesignGoal
 
   const double aspect = options.site_y / options.site_x;
   DesignSearchResult result;
+
+  // One execution context for the whole ladder: the candidates share the
+  // soil and numerics, so every elemental block integrated for candidate k
+  // is a legitimate warm-cache entry for candidates k+1.. — the "many
+  // nearby analyses" loop the Engine exists for.
+  std::optional<engine::Engine> owned_engine;
+  engine::Engine* eng = options.engine;
+  if (eng == nullptr) {
+    engine::ExecutionConfig config;
+    config.use_congruence_cache = options.warm_cache;
+    owned_engine.emplace(config);
+    eng = &*owned_engine;
+  }
+  bem::AnalysisOptions analysis;
+  analysis.gpr = goal.gpr;
+  analysis.assembly.series.tolerance = 1e-6;
+  engine::Study study(*eng, analysis);
+  const bem::CongruenceCacheStats ladder_start = eng->cache_stats();
 
   for (std::size_t step = 0; step < options.max_steps; ++step) {
     // Ladder: mesh density grows with every step; from the third step on,
@@ -47,16 +66,16 @@ DesignSearchResult search_design(const soil::LayeredSoil& soil, const DesignGoal
     }
 
     DesignOptions design_options;
-    design_options.analysis.gpr = goal.gpr;
-    design_options.analysis.assembly.series.tolerance = 1e-6;
+    design_options.analysis = analysis;
     GroundingSystem system(conductors, soil, design_options);
-    const Report& report = system.analyze();
+    const Report& report = system.analyze(study);
 
     DesignCandidate candidate;
     candidate.cells_x = cells_x;
     candidate.cells_y = cells_y;
     candidate.rods = rods;
     candidate.resistance = report.equivalent_resistance;
+    candidate.cache = report.cache_stats;
 
     const auto evaluator = system.potential_evaluator();
     // Touch exposure exists only where grounded structures stand — inside
@@ -83,6 +102,7 @@ DesignSearchResult search_design(const soil::LayeredSoil& soil, const DesignGoal
       break;
     }
   }
+  result.cache_stats = eng->cache_stats().delta_since(ladder_start);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/cad/grounding_system.hpp"
+#include "src/engine/engine.hpp"
 #include "src/geom/grid_builder.hpp"
 #include "src/post/safety.hpp"
 #include "src/soil/soil_model.hpp"
@@ -37,6 +38,13 @@ struct DesignSearchOptions {
   double safety_margin = 5.0;   ///< assessment patch margin around the site [m]
   std::size_t samples_x = 9;    ///< assessment sampling
   std::size_t samples_y = 9;
+  /// Externally owned engine to run the ladder on (its warm cache then also
+  /// persists *across* searches). Null makes the search own a serial
+  /// warm-cache engine for the duration of the ladder.
+  engine::Engine* engine = nullptr;
+  /// Disable the warm congruence cache of the internally owned engine — the
+  /// cold reference path (ignored when `engine` is supplied).
+  bool warm_cache = true;
 };
 
 struct DesignCandidate {
@@ -47,6 +55,10 @@ struct DesignCandidate {
   double max_touch = 0.0;
   double max_step = 0.0;
   bool satisfied = false;
+  /// Congruence-cache counters of this candidate's assembly alone: the hits
+  /// of candidate k > 1 include every block it replayed from the warm cache
+  /// filled by candidates 1..k-1.
+  bem::CongruenceCacheStats cache;
 
   [[nodiscard]] std::string label() const;
 };
@@ -56,10 +68,15 @@ struct DesignSearchResult {
   DesignCandidate chosen;                 ///< last evaluated (best) candidate
   std::vector<DesignCandidate> history;   ///< every candidate in order
   std::vector<geom::Conductor> conductors;  ///< geometry of the chosen design
+  /// Warm-cache counters accumulated over the whole ladder.
+  bem::CongruenceCacheStats cache_stats;
 };
 
-/// Run the ladder search. Throws on invalid inputs; never throws for
-/// "no design satisfied the goals" (check `satisfied`).
+/// Run the ladder search. Every candidate is evaluated through one
+/// engine::Study, so the congruence cache stays warm from candidate to
+/// candidate and hit statistics accumulate across the ladder. Throws on
+/// invalid inputs; never throws for "no design satisfied the goals" (check
+/// `satisfied`).
 [[nodiscard]] DesignSearchResult search_design(const soil::LayeredSoil& soil,
                                                const DesignGoal& goal,
                                                const DesignSearchOptions& options);

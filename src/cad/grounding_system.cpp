@@ -54,7 +54,32 @@ GroundingSystem GroundingSystem::from_file(const std::string& path,
 const Report& GroundingSystem::analyze() {
   PhaseReport phases = setup_phases_;
   solution_ = bem::analyze(model_, options_.analysis, &phases);
+  return finish_report(phases, bem::CongruenceCacheStats{});
+}
 
+const Report& GroundingSystem::analyze(engine::Engine& engine) {
+  PhaseReport phases = setup_phases_;
+  const bem::CongruenceCacheStats before = engine.cache_stats();
+  solution_ = engine.analyze(model_, options_.analysis, &phases);
+  return finish_report(phases, engine.cache_stats().delta_since(before));
+}
+
+const Report& GroundingSystem::analyze(engine::Study& study) {
+  // A Study pins one physics for its whole session (that is what keeps the
+  // shared warm cache valid), and this system's post-processing (potential
+  // evaluator basis, GPR scaling) runs off its construction-time options —
+  // so the two must agree. Silently letting either side win would e.g.
+  // rescale every safety voltage to the other GPR without any error.
+  EBEM_EXPECT(study.options() == options_.analysis,
+              "GroundingSystem::analyze(Study&): the study's analysis options differ from "
+              "this system's; construct both from the same AnalysisOptions");
+  PhaseReport phases = setup_phases_;
+  solution_ = study.analyze(model_, &phases);
+  return finish_report(phases, study.last_cache_delta());
+}
+
+const Report& GroundingSystem::finish_report(const PhaseReport& phases,
+                                             const bem::CongruenceCacheStats& cache_stats) {
   Report report;
   report.gpr = options_.analysis.gpr;
   report.equivalent_resistance = solution_->equivalent_resistance;
@@ -63,6 +88,7 @@ const Report& GroundingSystem::analyze() {
   report.dof_count = model_.dof_count(options_.analysis.assembly.integrator.basis);
   report.phases = phases;
   report.column_costs = solution_->column_costs;
+  report.cache_stats = cache_stats;
   report_ = std::move(report);
   return *report_;
 }

@@ -9,6 +9,7 @@
 
 #include "src/bem/analysis.hpp"
 #include "src/common/phase_report.hpp"
+#include "src/engine/study.hpp"
 #include "src/geom/conductor.hpp"
 #include "src/geom/mesh.hpp"
 #include "src/io/grid_file.hpp"
@@ -17,6 +18,8 @@
 
 namespace ebem::cad {
 
+/// Physics of one design run: meshing + analysis options. Execution (threads,
+/// caches, solver policy) belongs to the engine::Engine a run is handed to.
 struct DesignOptions {
   geom::MeshOptions mesh;
   bem::AnalysisOptions analysis;
@@ -31,6 +34,9 @@ struct Report {
   std::size_t dof_count = 0;
   PhaseReport phases;
   std::vector<double> column_costs;    ///< per-column matrix-generation cost, if measured
+  /// Congruence-cache counters of this run alone (zeros when the run had no
+  /// warm engine cache).
+  bem::CongruenceCacheStats cache_stats;
 
   [[nodiscard]] std::string summary() const;
 };
@@ -48,8 +54,20 @@ class GroundingSystem {
   [[nodiscard]] static GroundingSystem from_file(const std::string& path,
                                                  const DesignOptions& options = {});
 
-  /// Run (or re-run) the analysis.
+  /// Run (or re-run) the analysis on the serial reference path (cold, no
+  /// shared resources). Sessions evaluating several systems should pass an
+  /// Engine or Study instead.
   const Report& analyze();
+
+  /// Run against an engine's shared pool, warm cache and solver policy;
+  /// phase timings/counters also accumulate into the engine's report.
+  const Report& analyze(engine::Engine& engine);
+
+  /// Run as one step of a Study session. The study's physics options must
+  /// equal this system's analysis options (throws ebem::InvalidArgument
+  /// otherwise) — one physics per session is what keeps the shared warm
+  /// cache valid and the post-processing consistent.
+  const Report& analyze(engine::Study& study);
 
   /// Post-processing evaluator over the last analyze() solution.
   [[nodiscard]] post::PotentialEvaluator potential_evaluator(
@@ -63,6 +81,9 @@ class GroundingSystem {
  private:
   GroundingSystem(std::vector<geom::Conductor> conductors, soil::LayeredSoil soil,
                   const DesignOptions& options, PhaseReport input_phases);
+
+  const Report& finish_report(const PhaseReport& phases,
+                              const bem::CongruenceCacheStats& cache_stats);
 
   static bem::BemModel preprocess(std::vector<geom::Conductor> conductors,
                                   const soil::LayeredSoil& soil, const DesignOptions& options,

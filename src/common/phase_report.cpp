@@ -65,6 +65,14 @@ double PhaseReport::counter(std::string_view name) const {
   return 0.0;
 }
 
+void PhaseReport::merge(const PhaseReport& other) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    wall_[i] += other.wall_[i];
+    cpu_[i] += other.cpu_[i];
+  }
+  for (const auto& [name, value] : other.counters_) add_counter(name, value);
+}
+
 double PhaseReport::cpu_fraction(Phase phase) const {
   const double total = total_cpu_seconds();
   return total > 0.0 ? cpu_seconds(phase) / total : 0.0;

@@ -49,6 +49,10 @@ class PhaseReport {
   /// Accumulated value of `name`; 0 when never added.
   [[nodiscard]] double counter(std::string_view name) const;
 
+  /// Accumulate every phase time and counter of `other` into this report —
+  /// how a per-run report folds into a session-cumulative sink.
+  void merge(const PhaseReport& other);
+
   /// Counters in first-added order.
   [[nodiscard]] const std::vector<std::pair<std::string, double>>& counters() const {
     return counters_;

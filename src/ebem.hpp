@@ -1,11 +1,26 @@
 // EarthBEM umbrella header: the full public API.
 //
 // Quick tour:
+//   engine::ExecutionConfig — every execution knob (threads, schedule,
+//       backend, warm congruence cache, solver kind/tolerances) in one
+//       validated struct, configured once per session
+//   engine::Engine          — the long-lived execution context: one worker
+//       pool, one warm cache, one cumulative PhaseReport across analyses
+//   engine::Study           — a session binding an Engine to fixed physics;
+//       study.analyze(model) per candidate, study.factor(model) for a
+//       FactoredSystem whose solve/solve_many reuse one factorization
 //   geom::make_rect_grid / make_triangular_grid  — build a grid design
 //   soil::LayeredSoil                            — uniform / layered soil
 //   cad::GroundingSystem                         — mesh + solve + report
+//       (pass an Engine or Study to analyze() to share warm resources)
+//   cad::search_design                           — the CAD ladder, all
+//       candidates through one warm Study
 //   post::PotentialEvaluator / assess_safety     — surface potentials, safety
 //   estimation::fit_two_layer                    — soil parameters from soundings
+//
+// The bem:: free functions (analyze, assemble, solve) remain as serial
+// shims; their option structs carry physics only. Anything that runs more
+// than one analysis should hold an engine::Engine.
 // See examples/quickstart.cpp for a complete walkthrough.
 #pragma once
 
@@ -22,6 +37,11 @@
 #include "src/common/math_utils.hpp"
 #include "src/common/phase_report.hpp"
 #include "src/common/timer.hpp"
+#include "src/engine/counters.hpp"
+#include "src/engine/engine.hpp"
+#include "src/engine/execution_config.hpp"
+#include "src/engine/factored_system.hpp"
+#include "src/engine/study.hpp"
 #include "src/estimation/wenner.hpp"
 #include "src/fdm/fd_solver.hpp"
 #include "src/geom/conductor.hpp"

@@ -1,0 +1,19 @@
+// Names of the session counters an Engine accumulates on its PhaseReport —
+// shared constants so the analyze, solve and factor paths (and any test or
+// report consumer) land on the same totals. The congruence-cache counter
+// names live with their producer in src/bem/analysis.hpp.
+#pragma once
+
+namespace ebem::engine {
+
+/// Incremented once per successful direct (Cholesky) factorization —
+/// Engine::analyze/solve with SolverKind::kCholesky, and Engine::factor.
+inline constexpr const char* kFactorizationsCounter = "Cholesky factorizations";
+
+/// Incremented per right-hand side answered by a FactoredSystem (solve adds
+/// one, solve_many adds the block width). Together with
+/// kFactorizationsCounter this lets a session assert "k solves, one
+/// factorization".
+inline constexpr const char* kRhsSolvedCounter = "Right-hand sides solved";
+
+}  // namespace ebem::engine

@@ -1,0 +1,164 @@
+#include "src/engine/engine.hpp"
+
+#include <bit>
+
+#include "src/common/hash.hpp"
+#include "src/common/timer.hpp"
+#include "src/engine/counters.hpp"
+#include "src/la/cholesky.hpp"
+#include "src/soil/soil_model.hpp"
+
+namespace ebem::engine {
+
+namespace {
+
+[[nodiscard]] std::uint64_t word_of(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+/// Order-dependent hash of everything the elemental blocks depend on besides
+/// pair geometry. Geometry congruence is the cache key's job; this pins the
+/// physics the key deliberately leaves out.
+[[nodiscard]] std::uint64_t physics_fingerprint(const soil::LayeredSoil& soil,
+                                                const bem::AssemblyOptions& options) {
+  std::uint64_t h = 0x9d7fb3a5c1e42b17ULL;
+  h = hash_combine(h, soil.layer_count());
+  for (std::size_t c = 0; c < soil.layer_count(); ++c) {
+    h = hash_combine(h, word_of(soil.conductivity(c)));
+    if (c + 1 < soil.layer_count()) h = hash_combine(h, word_of(soil.interface_depth(c)));
+  }
+  const bem::IntegratorOptions& integrator = options.integrator;
+  h = hash_combine(h, static_cast<std::uint64_t>(integrator.basis));
+  h = hash_combine(h, static_cast<std::uint64_t>(integrator.inner));
+  h = hash_combine(h, integrator.outer_gauss_points);
+  h = hash_combine(h, integrator.inner_gauss_points);
+  h = hash_combine(h, word_of(options.series.tolerance));
+  h = hash_combine(h, options.series.max_reflections);
+  h = hash_combine(h, word_of(options.hankel.tolerance));
+  h = hash_combine(h, word_of(options.hankel.lambda_cut));
+  h = hash_combine(h, options.hankel.max_panels);
+  return h;
+}
+
+}  // namespace
+
+Engine::Engine(const ExecutionConfig& config)
+    : config_(config), threads_(config.resolved_threads()) {
+  config_.validate();
+  if (config_.pool != nullptr) {
+    pool_ = config_.pool;
+  } else if (threads_ > 1) {
+    owned_pool_.emplace(threads_);
+    pool_ = &*owned_pool_;
+  }
+  if (config_.use_congruence_cache) {
+    cache_.emplace(config_.congruence_quantum, config_.cache_max_entries);
+  }
+}
+
+void Engine::add_cache_counters(const bem::CongruenceCacheStats& delta) {
+  if (!cache_) return;
+  // Same counter names bem::analyze reports, so factor- and analyze-path
+  // runs accumulate into one session view.
+  report_.add_counter(bem::kCacheHitsCounter, static_cast<double>(delta.hits));
+  report_.add_counter(bem::kCacheMissesCounter, static_cast<double>(delta.misses));
+}
+
+void Engine::clear_cache() {
+  if (cache_) cache_->clear();
+  cache_fingerprint_.reset();
+}
+
+void Engine::refresh_cache_fingerprint(const bem::BemModel& model,
+                                       const bem::AssemblyOptions& options) {
+  if (!cache_) return;
+  const std::uint64_t fingerprint = physics_fingerprint(model.soil(), options);
+  if (cache_fingerprint_.has_value() && *cache_fingerprint_ != fingerprint) {
+    // Different physics, same geometry classes would replay wrong blocks:
+    // drop the warm entries. The hit/miss counters survive — they are
+    // session statistics, and per-run deltas are snapshotted around this.
+    cache_->drop_entries();
+  }
+  cache_fingerprint_ = fingerprint;
+}
+
+bem::AssemblyExecution Engine::assembly_execution() {
+  bem::AssemblyExecution execution;
+  execution.num_threads = threads_;
+  execution.pool = config_.backend == bem::Backend::kThreadPool ? pool_ : nullptr;
+  execution.schedule = config_.schedule;
+  execution.loop = config_.loop;
+  execution.backend = config_.backend;
+  execution.measure_column_costs = config_.measure_column_costs;
+  execution.cache = cache_ ? &*cache_ : nullptr;
+  return execution;
+}
+
+bem::SolveExecution Engine::solve_execution() const {
+  return {.pool = pool_, .cholesky_block = config_.cholesky_block};
+}
+
+bem::SolverOptions Engine::solver_options() const {
+  return {.kind = config_.solver,
+          .cg_tolerance = config_.cg_tolerance,
+          .cg_max_iterations = config_.cg_max_iterations};
+}
+
+bem::AnalysisExecution Engine::analysis_execution() {
+  bem::AnalysisExecution execution;
+  execution.assembly = assembly_execution();
+  execution.solver = solver_options();
+  execution.solve = solve_execution();
+  return execution;
+}
+
+bem::AssemblyResult Engine::assemble(const bem::BemModel& model,
+                                     const bem::AssemblyOptions& options) {
+  refresh_cache_fingerprint(model, options);
+  return bem::assemble(model, options, assembly_execution());
+}
+
+std::vector<double> Engine::solve(const la::SymMatrix& matrix, std::span<const double> rhs,
+                                  bem::SolveStats* stats) {
+  std::vector<double> x = bem::solve(matrix, rhs, solver_options(), solve_execution(), stats);
+  // Counted only once the factorization actually happened (the direct path
+  // factors exactly once per solve; a throw above counts nothing).
+  if (config_.solver == bem::SolverKind::kCholesky) {
+    report_.add_counter(kFactorizationsCounter, 1.0);
+  }
+  return x;
+}
+
+bem::AnalysisResult Engine::analyze(const bem::BemModel& model,
+                                    const bem::AnalysisOptions& options,
+                                    PhaseReport* run_report) {
+  refresh_cache_fingerprint(model, options.assembly);
+  PhaseReport run;
+  bem::AnalysisResult result = bem::analyze(model, options, analysis_execution(), &run);
+  // Into the per-run report first, so run_report really is "this run's view
+  // of the same numbers" — factorizations included, and only on success.
+  if (config_.solver == bem::SolverKind::kCholesky) {
+    run.add_counter(kFactorizationsCounter, 1.0);
+  }
+  report_.merge(run);
+  if (run_report != nullptr) run_report->merge(run);
+  return result;
+}
+
+FactoredSystem Engine::factor(const bem::BemModel& model, const bem::AnalysisOptions& options) {
+  refresh_cache_fingerprint(model, options.assembly);
+  WallTimer wall;
+  CpuTimer cpu;
+  const bem::CongruenceCacheStats cache_before = cache_stats();
+  bem::AssemblyResult system =
+      bem::assemble(model, options.assembly, assembly_execution());
+  report_.add(Phase::kMatrixGeneration, wall.seconds(), cpu.seconds());
+  add_cache_counters(system.cache_stats.delta_since(cache_before));
+
+  wall.reset();
+  cpu.reset();
+  la::Cholesky factor(system.matrix, {.block = config_.cholesky_block, .pool = pool_});
+  report_.add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
+  report_.add_counter(kFactorizationsCounter, 1.0);
+  return FactoredSystem(std::move(factor), std::move(system.rhs), pool_, &report_);
+}
+
+}  // namespace ebem::engine

@@ -1,0 +1,123 @@
+// engine::Engine — the long-lived execution context of the library.
+//
+// The paper's CAD framing is many nearby analyses in a loop: a designer (or
+// the automated ladder of cad::search_design) evaluates candidate after
+// candidate against the same soil and the same numerics. An Engine owns
+// everything those runs should share instead of re-creating per call:
+//
+//   * one par::ThreadPool, spawned once and reused by assembly and solve;
+//   * one warm bem::CongruenceCache, so candidate k replays the elemental
+//     blocks candidates 1..k-1 already integrated (the cache is dropped
+//     automatically when the physics fingerprint changes);
+//   * one PhaseReport sink accumulating Table 6.1 style timings and the
+//     named counters (cache hits, factorizations, solved right-hand sides)
+//     across the whole session.
+//
+// Configuration happens once, through a validated engine::ExecutionConfig.
+// The bem:: free functions remain as serial shims; anything that runs more
+// than one analysis should hold an Engine (or an engine::Study bound to
+// one) instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/bem/analysis.hpp"
+#include "src/bem/assembly.hpp"
+#include "src/bem/congruence_cache.hpp"
+#include "src/bem/solver.hpp"
+#include "src/common/phase_report.hpp"
+#include "src/engine/execution_config.hpp"
+#include "src/engine/factored_system.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+namespace ebem::engine {
+
+class Engine {
+ public:
+  /// Validates the config (throws ebem::InvalidArgument on contradictions)
+  /// and spawns the worker pool / cache up front.
+  explicit Engine(const ExecutionConfig& config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const ExecutionConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t num_threads() const { return threads_; }
+
+  /// Shared worker pool; null when the engine runs serially.
+  [[nodiscard]] par::ThreadPool* pool() { return pool_; }
+
+  /// Warm congruence cache; null when disabled by the config.
+  [[nodiscard]] bem::CongruenceCache* cache() { return cache_ ? &*cache_ : nullptr; }
+  [[nodiscard]] bem::CongruenceCacheStats cache_stats() const {
+    return cache_ ? cache_->stats() : bem::CongruenceCacheStats{};
+  }
+  /// Drop all warm cache entries (the physics-fingerprint guard calls this
+  /// automatically; manual calls are only needed to re-measure cold starts).
+  void clear_cache();
+
+  /// Session-cumulative phase timings and counters.
+  [[nodiscard]] PhaseReport& report() { return report_; }
+  [[nodiscard]] const PhaseReport& report() const { return report_; }
+
+  /// Assemble the Galerkin system against the shared pool and warm cache.
+  [[nodiscard]] bem::AssemblyResult assemble(const bem::BemModel& model,
+                                             const bem::AssemblyOptions& options = {});
+
+  /// Solve one assembled system under the config's solver policy.
+  [[nodiscard]] std::vector<double> solve(const la::SymMatrix& matrix,
+                                          std::span<const double> rhs,
+                                          bem::SolveStats* stats = nullptr);
+
+  /// Full analysis (assembly + solve + design parameters); timings and cache
+  /// counters accumulate into report(), and additionally into `run_report`
+  /// when provided (a caller's per-run view of the same numbers).
+  [[nodiscard]] bem::AnalysisResult analyze(const bem::BemModel& model,
+                                            const bem::AnalysisOptions& options = {},
+                                            PhaseReport* run_report = nullptr);
+
+  /// Assemble and factor once; the returned handle answers any number of
+  /// right-hand sides by substitution only. A FactoredSystem is by
+  /// definition a direct-solver handle, so this always runs the blocked
+  /// Cholesky (with the config's cholesky_block) regardless of
+  /// config().solver — the configured solver policy governs analyze() and
+  /// solve(). The handle borrows this engine's pool and report — the
+  /// Engine must outlive it.
+  [[nodiscard]] FactoredSystem factor(const bem::BemModel& model,
+                                      const bem::AnalysisOptions& options = {});
+
+  /// Resolved per-phase execution plans (what the config means in bem
+  /// terms); exposed so benches and tests can drive the low-level entry
+  /// points with engine-consistent plumbing. Note: driving bem::assemble
+  /// directly with these bypasses the physics-fingerprint cache guard —
+  /// keep the physics fixed, or go through Engine::assemble/analyze.
+  [[nodiscard]] bem::AssemblyExecution assembly_execution();
+  [[nodiscard]] bem::SolveExecution solve_execution() const;
+  [[nodiscard]] bem::SolverOptions solver_options() const;
+  [[nodiscard]] bem::AnalysisExecution analysis_execution();
+
+ private:
+  /// The congruence cache is only valid for one physics: soil stack +
+  /// integrator + series/Hankel options. Fingerprint them and clear the
+  /// cache on change, so one Engine can serve e.g. a uniform and a
+  /// two-layer study in sequence without cross-contamination.
+  void refresh_cache_fingerprint(const bem::BemModel& model,
+                                 const bem::AssemblyOptions& options);
+
+  /// Fold one run's cache delta into the session counters (no-op when the
+  /// cache is disabled); bem::analyze does the same for the analyze path.
+  void add_cache_counters(const bem::CongruenceCacheStats& delta);
+
+  ExecutionConfig config_;
+  std::size_t threads_;
+  std::optional<par::ThreadPool> owned_pool_;
+  par::ThreadPool* pool_ = nullptr;
+  std::optional<bem::CongruenceCache> cache_;
+  std::optional<std::uint64_t> cache_fingerprint_;
+  PhaseReport report_;
+};
+
+}  // namespace ebem::engine

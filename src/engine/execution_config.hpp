@@ -1,0 +1,71 @@
+// The single execution contract of an engine::Engine: every knob that
+// describes *how* analyses run — worker threads, schedules, backends, the
+// congruence-cache policy, the solver choice and its tolerances — in one
+// validated struct, configured once per session.
+//
+// Before the Engine existed these knobs were smeared across four option
+// structs (AssemblyOptions, SolverOptions, AnalysisOptions, DesignOptions),
+// each carrying its own num_threads/pool pair with subtly different
+// semantics; the worst of them — SolverOptions::pool being silently ignored
+// whenever num_threads stayed 1 — is exactly the class of contradiction
+// validate() now rejects up front.
+#pragma once
+
+#include <cstddef>
+
+#include "src/bem/assembly.hpp"
+#include "src/bem/congruence_cache.hpp"
+#include "src/bem/pair_signature.hpp"
+#include "src/bem/solver.hpp"
+#include "src/parallel/schedule.hpp"
+
+namespace ebem::par {
+class ThreadPool;
+}  // namespace ebem::par
+
+namespace ebem::engine {
+
+struct ExecutionConfig {
+  // --- parallelism -------------------------------------------------------
+  /// Worker count shared by the assembly and solve phases; 1 is the serial
+  /// reference path, 0 resolves to the external pool's size (or the
+  /// hardware concurrency when no pool is supplied).
+  std::size_t num_threads = 1;
+  /// Optional externally owned worker pool. When set, num_threads must be 0
+  /// (adopt the pool's size) or match it exactly — validate() throws on any
+  /// other combination instead of silently ignoring one of the two.
+  par::ThreadPool* pool = nullptr;
+  par::Schedule schedule = par::Schedule::dynamic(1);
+  bem::ParallelLoop loop = bem::ParallelLoop::kOuter;
+  bem::Backend backend = bem::Backend::kThreadPool;
+
+  // --- congruence cache --------------------------------------------------
+  /// Keep one warm congruence cache across every assembly the Engine runs:
+  /// nearby systems (design ladders, estimation sweeps) replay each other's
+  /// elemental blocks. The Engine drops the cache automatically whenever
+  /// the physics fingerprint (soil + integrator/series options) changes.
+  bool use_congruence_cache = true;
+  double congruence_quantum = bem::kDefaultCongruenceQuantum;
+  std::size_t cache_max_entries = bem::CongruenceCache::kDefaultMaxEntries;
+
+  // --- solver ------------------------------------------------------------
+  bem::SolverKind solver = bem::SolverKind::kCholesky;
+  double cg_tolerance = 1e-12;
+  std::size_t cg_max_iterations = 0;  ///< 0 = automatic
+  std::size_t cholesky_block = 64;
+
+  // --- instrumentation ---------------------------------------------------
+  /// Record per-column assembly costs (schedule-simulator input).
+  bool measure_column_costs = false;
+
+  /// Worker count after resolving num_threads == 0 against the pool /
+  /// hardware concurrency.
+  [[nodiscard]] std::size_t resolved_threads() const;
+
+  /// Throws ebem::InvalidArgument on any internal contradiction (thread /
+  /// pool mismatch, non-positive tolerances or quanta). Engine construction
+  /// validates exactly once; the config is immutable afterwards.
+  void validate() const;
+};
+
+}  // namespace ebem::engine

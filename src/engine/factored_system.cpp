@@ -1,0 +1,27 @@
+#include "src/engine/factored_system.hpp"
+
+#include <utility>
+
+#include "src/common/phase_report.hpp"
+#include "src/engine/counters.hpp"
+
+namespace ebem::engine {
+
+FactoredSystem::FactoredSystem(la::Cholesky factor, std::vector<double> rhs,
+                               par::ThreadPool* pool, PhaseReport* report)
+    : factor_(std::move(factor)), rhs_(std::move(rhs)), pool_(pool), report_(report) {}
+
+std::vector<double> FactoredSystem::solve() const { return solve(rhs_); }
+
+std::vector<double> FactoredSystem::solve(std::span<const double> rhs) const {
+  if (report_ != nullptr) report_->add_counter(kRhsSolvedCounter, 1.0);
+  return factor_.solve(rhs);
+}
+
+std::vector<double> FactoredSystem::solve_many(std::span<const double> rhs_block,
+                                               std::size_t num_rhs) const {
+  if (report_ != nullptr) report_->add_counter(kRhsSolvedCounter, static_cast<double>(num_rhs));
+  return factor_.solve_many(rhs_block, num_rhs, pool_);
+}
+
+}  // namespace ebem::engine

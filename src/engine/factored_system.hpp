@@ -1,0 +1,62 @@
+// A factored Galerkin system: one Cholesky factorization, many solves.
+//
+// The CAD loops around the solver (design ladders, soil-estimation sweeps,
+// safety scans) repeatedly need solutions of the *same* system for
+// different right-hand sides; refactoring the O(N^3/3) triangle for each of
+// them would dwarf the O(N^2) substitutions. A FactoredSystem is the handle
+// engine::Engine::factor / engine::Study::factor return: it owns the factor
+// (and the assembled nu of eq. 4.6), references the Engine's worker pool,
+// and answers each subsequent right-hand side with substitutions only.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/la/cholesky.hpp"
+
+namespace ebem {
+class PhaseReport;
+}  // namespace ebem
+
+namespace ebem::par {
+class ThreadPool;
+}  // namespace ebem::par
+
+namespace ebem::engine {
+
+class FactoredSystem {
+ public:
+  /// `pool` and `report` are borrowed (typically from the owning Engine,
+  /// which must outlive the handle); either may be null.
+  FactoredSystem(la::Cholesky factor, std::vector<double> rhs, par::ThreadPool* pool,
+                 PhaseReport* report);
+
+  [[nodiscard]] std::size_t size() const { return factor_.size(); }
+
+  /// The assembled right-hand side nu (integral of each test function).
+  [[nodiscard]] const std::vector<double>& rhs() const { return rhs_; }
+
+  /// Solve for the system's own rhs() — the normalized unit-GPR problem.
+  [[nodiscard]] std::vector<double> solve() const;
+
+  /// Solve for one arbitrary right-hand side; no refactorization.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> rhs) const;
+
+  /// Solve for `num_rhs` right-hand sides at once (row-major n x num_rhs
+  /// block, see la::Cholesky::solve_many). Matches column-by-column solve()
+  /// bit for bit at every thread count, at one blocked substitution sweep
+  /// instead of num_rhs independent ones.
+  [[nodiscard]] std::vector<double> solve_many(std::span<const double> rhs_block,
+                                               std::size_t num_rhs) const;
+
+  [[nodiscard]] const la::Cholesky& factor() const { return factor_; }
+
+ private:
+  la::Cholesky factor_;
+  std::vector<double> rhs_;
+  par::ThreadPool* pool_;
+  PhaseReport* report_;
+};
+
+}  // namespace ebem::engine

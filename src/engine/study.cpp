@@ -1,0 +1,29 @@
+#include "src/engine/study.hpp"
+
+#include <utility>
+
+namespace ebem::engine {
+
+Study::Study(Engine& engine, bem::AnalysisOptions options)
+    : engine_(&engine), options_(std::move(options)) {}
+
+void Study::record_delta(const bem::CongruenceCacheStats& before) {
+  last_cache_delta_ = engine_->cache_stats().delta_since(before);
+  ++runs_;
+}
+
+bem::AnalysisResult Study::analyze(const bem::BemModel& model, PhaseReport* run_report) {
+  const bem::CongruenceCacheStats before = engine_->cache_stats();
+  bem::AnalysisResult result = engine_->analyze(model, options_, run_report);
+  record_delta(before);
+  return result;
+}
+
+FactoredSystem Study::factor(const bem::BemModel& model) {
+  const bem::CongruenceCacheStats before = engine_->cache_stats();
+  FactoredSystem system = engine_->factor(model, options_);
+  record_delta(before);
+  return system;
+}
+
+}  // namespace ebem::engine

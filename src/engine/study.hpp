@@ -1,0 +1,59 @@
+// engine::Study — one physics, many models, shared warm state.
+//
+// A Study binds an Engine to a fixed set of analysis options (soil series
+// tolerances, basis, GPR) and runs model after model against it. That is
+// the shape of every CAD loop in the paper: the design ladder re-meshes the
+// same site, soil estimation re-analyzes the same grid under fitted soils,
+// safety sweeps re-solve the chosen design. Because the physics is pinned,
+// every run legitimately shares the Engine's warm congruence cache, and the
+// Study tracks the per-run cache delta — the number candidate k actually
+// gained from candidates 1..k-1.
+#pragma once
+
+#include <cstddef>
+
+#include "src/bem/analysis.hpp"
+#include "src/bem/congruence_cache.hpp"
+#include "src/engine/engine.hpp"
+#include "src/engine/factored_system.hpp"
+
+namespace ebem::engine {
+
+class Study {
+ public:
+  /// The engine is borrowed and must outlive the study.
+  explicit Study(Engine& engine, bem::AnalysisOptions options = {});
+
+  /// Analyze one model under the study's physics, against the engine's warm
+  /// resources. Safe to call with differently meshed / sized models.
+  /// `run_report` receives this run's phase timings and counters on top of
+  /// the engine's cumulative report.
+  [[nodiscard]] bem::AnalysisResult analyze(const bem::BemModel& model,
+                                            PhaseReport* run_report = nullptr);
+
+  /// Assemble + factor one model once for many right-hand sides.
+  [[nodiscard]] FactoredSystem factor(const bem::BemModel& model);
+
+  [[nodiscard]] Engine& engine() const { return *engine_; }
+  [[nodiscard]] const bem::AnalysisOptions& options() const { return options_; }
+
+  /// Number of analyze()/factor() runs so far.
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+
+  /// Congruence-cache counters of the most recent run only (hits a run took
+  /// from the warm cache, misses it had to integrate). Zeros before the
+  /// first run or when the engine's cache is disabled.
+  [[nodiscard]] const bem::CongruenceCacheStats& last_cache_delta() const {
+    return last_cache_delta_;
+  }
+
+ private:
+  void record_delta(const bem::CongruenceCacheStats& before);
+
+  Engine* engine_;
+  bem::AnalysisOptions options_;
+  std::size_t runs_ = 0;
+  bem::CongruenceCacheStats last_cache_delta_{};
+};
+
+}  // namespace ebem::engine

@@ -92,6 +92,59 @@ void Cholesky::trailing_update(std::size_t k0, std::size_t k1, par::ThreadPool* 
                     [&](std::size_t r) { update_row(k1 + r); });
 }
 
+std::vector<double> Cholesky::solve_many(std::span<const double> b, std::size_t num_rhs,
+                                         par::ThreadPool* pool) const {
+  EBEM_EXPECT(num_rhs >= 1, "need at least one right-hand side");
+  EBEM_EXPECT(b.size() == n_ * num_rhs, "right-hand-side block size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+
+  // Substitute one contiguous chunk of columns through both triangles. The
+  // inner loops run over the chunk, so each L entry is fetched once per
+  // chunk instead of once per column.
+  const auto solve_chunk = [&](std::size_t c0, std::size_t c1) {
+    const std::size_t width = c1 - c0;
+    // Forward substitution: L Y = B.
+    for (std::size_t i = 0; i < n_; ++i) {
+      double* xi = x.data() + i * num_rhs + c0;
+      const double* row_i = l_.data() + index(i, 0);
+      for (std::size_t j = 0; j < i; ++j) {
+        const double lij = row_i[j];
+        const double* xj = x.data() + j * num_rhs + c0;
+        for (std::size_t c = 0; c < width; ++c) xi[c] -= lij * xj[c];
+      }
+      const double lii = l_[index(i, i)];
+      for (std::size_t c = 0; c < width; ++c) xi[c] /= lii;
+    }
+    // Back substitution: L^T X = Y.
+    for (std::size_t i = n_; i-- > 0;) {
+      double* xi = x.data() + i * num_rhs + c0;
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        const double lji = l_[index(j, i)];
+        const double* xj = x.data() + j * num_rhs + c0;
+        for (std::size_t c = 0; c < width; ++c) xi[c] -= lji * xj[c];
+      }
+      const double lii = l_[index(i, i)];
+      for (std::size_t c = 0; c < width; ++c) xi[c] /= lii;
+    }
+  };
+
+  // Fixed chunk width: the chunk partition — and with it every column's
+  // summation order — is independent of the worker count, keeping the
+  // result bitwise stable across thread counts and schedules.
+  constexpr std::size_t kChunk = 8;
+  const std::size_t chunks = (num_rhs + kChunk - 1) / kChunk;
+  const auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t c0 = chunk * kChunk;
+    solve_chunk(c0, std::min(c0 + kChunk, num_rhs));
+  };
+  if (pool == nullptr || pool->num_threads() <= 1 || chunks <= 1) {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
+  } else {
+    par::parallel_for(*pool, chunks, par::Schedule::static_blocked(), run_chunk);
+  }
+  return x;
+}
+
 std::vector<double> Cholesky::solve(std::span<const double> b) const {
   EBEM_EXPECT(b.size() == n_, "right-hand-side size mismatch");
   std::vector<double> x(b.begin(), b.end());

@@ -39,6 +39,18 @@ class Cholesky {
   /// Solve A x = b.
   [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
 
+  /// Solve A X = B for `num_rhs` right-hand sides at once, reusing this
+  /// factorization. `b` is the n x num_rhs block in row-major layout
+  /// (b[i * num_rhs + c] is row i of column c); the result uses the same
+  /// layout. The substitutions are blocked over RHS columns: each row of L
+  /// is loaded once per column chunk and applied to the whole chunk, which
+  /// is where the multi-RHS path beats num_rhs independent solve() calls.
+  /// Chunks run in parallel over `pool` when provided; each column's
+  /// arithmetic is identical to solve() in the same order, so the result is
+  /// bit-equal to column-by-column solve() for every thread count.
+  [[nodiscard]] std::vector<double> solve_many(std::span<const double> b, std::size_t num_rhs,
+                                               par::ThreadPool* pool = nullptr) const;
+
   [[nodiscard]] std::size_t size() const { return n_; }
 
   /// Packed lower triangle of L (row-major), exposed for tests.

@@ -31,6 +31,8 @@ struct HankelOptions {
   double tolerance = 1e-9;       ///< adaptive quadrature tolerance (relative)
   double lambda_cut = 60.0;      ///< integrate lambda in [0, lambda_cut / zeta]
   std::size_t max_panels = 4096; ///< refinement cap for the adaptive rule
+
+  friend bool operator==(const HankelOptions&, const HankelOptions&) = default;
 };
 
 class HankelKernel final : public PointKernel {

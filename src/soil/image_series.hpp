@@ -44,6 +44,8 @@ struct SeriesOptions {
   double tolerance = 1e-9;
   /// Hard cap on n per family (the paper's "upper limit of summands").
   std::size_t max_reflections = 128;
+
+  friend bool operator==(const SeriesOptions&, const SeriesOptions&) = default;
 };
 
 /// Point Green's function for a uniform or two-layer soil: evaluate(x, xi)

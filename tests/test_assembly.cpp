@@ -169,12 +169,12 @@ TEST_P(ParallelAssembly, MatchesSequentialWithinTolerance) {
 
   const AssemblyResult sequential = assemble(model, {});
 
-  AssemblyOptions options;
-  options.num_threads = c.threads;
-  options.loop = c.loop;
-  options.schedule = c.schedule;
-  options.backend = c.backend;
-  const AssemblyResult parallel = assemble(model, options);
+  AssemblyExecution execution;
+  execution.num_threads = c.threads;
+  execution.loop = c.loop;
+  execution.schedule = c.schedule;
+  execution.backend = c.backend;
+  const AssemblyResult parallel = assemble(model, {}, execution);
 
   const auto seq = sequential.matrix.packed();
   const auto par = parallel.matrix.packed();
@@ -222,11 +222,11 @@ TEST(Assembly, ExternalPoolIsReusedAcrossAssemblies) {
   const AssemblyResult sequential = assemble(model, {});
 
   par::ThreadPool pool(3);
-  AssemblyOptions options;
-  options.num_threads = 3;
-  options.pool = &pool;
+  AssemblyExecution execution;
+  execution.num_threads = 3;
+  execution.pool = &pool;
   for (int round = 0; round < 3; ++round) {
-    const AssemblyResult result = assemble(model, options);
+    const AssemblyResult result = assemble(model, {}, execution);
     const auto seq = sequential.matrix.packed();
     const auto par = result.matrix.packed();
     ASSERT_EQ(seq.size(), par.size());
@@ -239,9 +239,9 @@ TEST(Assembly, ExternalPoolIsReusedAcrossAssemblies) {
 TEST(Assembly, ColumnCostsMeasuredWhenRequested) {
   const auto soil = soil::LayeredSoil::uniform(0.02);
   const BemModel model = small_grid_model(soil);
-  AssemblyOptions options;
-  options.measure_column_costs = true;
-  const AssemblyResult result = assemble(model, options);
+  AssemblyExecution execution;
+  execution.measure_column_costs = true;
+  const AssemblyResult result = assemble(model, {}, execution);
   ASSERT_EQ(result.column_costs.size(), model.element_count());
   for (double cost : result.column_costs) EXPECT_GE(cost, 0.0);
   // Later columns couple fewer elements, so the first column should cost at

@@ -91,11 +91,31 @@ TEST(GroundingSystem, PotentialEvaluatorUsesActualGpr) {
 }
 
 TEST(GroundingSystem, MeasuredColumnCostsForwarded) {
-  DesignOptions options;
-  options.analysis.assembly.measure_column_costs = true;
-  GroundingSystem system(small_grid(), soil::LayeredSoil::uniform(0.02), options);
-  const Report& report = system.analyze();
+  engine::ExecutionConfig config;
+  config.measure_column_costs = true;
+  engine::Engine engine(config);
+  GroundingSystem system(small_grid(), soil::LayeredSoil::uniform(0.02));
+  const Report& report = system.analyze(engine);
   EXPECT_EQ(report.column_costs.size(), system.model().element_count());
+}
+
+TEST(GroundingSystem, EngineRunMatchesSerialShimAndWarmsTheCache) {
+  GroundingSystem cold(small_grid(), soil::LayeredSoil::uniform(0.02));
+  const double serial = cold.analyze().equivalent_resistance;
+
+  engine::Engine engine;  // default config: serial, warm cache on
+  GroundingSystem warm(small_grid(), soil::LayeredSoil::uniform(0.02));
+  const Report& first = warm.analyze(engine);
+  EXPECT_NEAR(first.equivalent_resistance, serial, 1e-12 * serial);
+  EXPECT_GT(first.cache_stats.misses, 0u);
+
+  // Re-running the same system against the warm engine replays every pair.
+  const Report& second = warm.analyze(engine);
+  EXPECT_NEAR(second.equivalent_resistance, serial, 1e-12 * serial);
+  EXPECT_EQ(second.cache_stats.misses, 0u);
+  EXPECT_GT(second.cache_stats.hits, 0u);
+  // The session report accumulated both runs' phase timings.
+  EXPECT_GT(engine.report().cpu_seconds(Phase::kMatrixGeneration), 0.0);
 }
 
 TEST(Cases, BarberaMatchesPaperDiscretizationScale) {

@@ -115,6 +115,113 @@ TEST(PairSignature, DiscriminatesIncongruentPairs) {
   EXPECT_NE(base, make_pair_signature(source, field, kLooseQuantum));
 }
 
+/// Two elements a comfortable ~5 element lengths apart: inside the
+/// transpose-replay regime (>= kTransposeSeparationRatio).
+std::pair<BemElement, BemElement> separated_pair() {
+  return {make_element({0.0, 0.0, -0.8}, {1.0, 0.2, -0.8}),
+          make_element({6.0, 1.0, -0.8}, {7.0, 1.5, -1.2})};
+}
+
+TEST(PairSignature, CanonicalSignatureMergesSwappedRolesWhenSeparated) {
+  const auto [field, source] = separated_pair();
+  const CanonicalPairSignature fs = make_canonical_pair_signature(field, source, kLooseQuantum);
+  const CanonicalPairSignature sf = make_canonical_pair_signature(source, field, kLooseQuantum);
+  // One cache key for both orientations; exactly one of them is the
+  // transposed view of the stored canonical block.
+  EXPECT_EQ(fs.signature, sf.signature);
+  EXPECT_NE(fs.transposed, sf.transposed);
+  // The ordered signatures still discriminate the orientations.
+  EXPECT_NE(make_pair_signature(field, source, kLooseQuantum),
+            make_pair_signature(source, field, kLooseQuantum));
+}
+
+TEST(PairSignature, CanonicalSignatureIsInvariantUnderIsometryPlusSwap) {
+  // The full claimed invariance group: horizontal isometry composed with a
+  // role swap must land on the same key.
+  const auto [field, source] = separated_pair();
+  const double c = std::cos(1.1);
+  const double s = std::sin(1.1);
+  const auto rotate_shift = [&](geom::Vec3 p) {
+    return geom::Vec3{c * p.x - s * p.y + 11.0, s * p.x + c * p.y - 3.5, p.z};
+  };
+  const BemElement field_t = make_element(rotate_shift(field.a), rotate_shift(field.b));
+  const BemElement source_t = make_element(rotate_shift(source.a), rotate_shift(source.b));
+
+  const CanonicalPairSignature base = make_canonical_pair_signature(field, source, kLooseQuantum);
+  const CanonicalPairSignature moved_swapped =
+      make_canonical_pair_signature(source_t, field_t, kLooseQuantum);
+  EXPECT_EQ(base.signature, moved_swapped.signature);
+  EXPECT_NE(base.transposed, moved_swapped.transposed);
+}
+
+TEST(PairSignature, NearPairsKeepTheOrderedKey) {
+  // Adjacent elements (shared node): the transpose identity only holds to
+  // quadrature accuracy (~1e-4 relative), so canonicalization must not
+  // merge the orientations there.
+  const BemElement left = make_element({0.0, 0.0, -0.8}, {1.0, 0.0, -0.8});
+  const BemElement right = make_element({1.0, 0.0, -0.8}, {2.0, 0.0, -0.8});
+  const CanonicalPairSignature lr = make_canonical_pair_signature(left, right, kLooseQuantum);
+  const CanonicalPairSignature rl = make_canonical_pair_signature(right, left, kLooseQuantum);
+  EXPECT_FALSE(lr.transposed);
+  EXPECT_FALSE(rl.transposed);
+  EXPECT_EQ(lr.signature, make_pair_signature(left, right, kLooseQuantum));
+  EXPECT_EQ(rl.signature, make_pair_signature(right, left, kLooseQuantum));
+  EXPECT_NE(lr.signature, rl.signature);
+}
+
+TEST(CongruenceCache, TransposedReplayReturnsTheTransposedBlock) {
+  const auto [field, source] = separated_pair();
+  CongruenceCache cache(kLooseQuantum);
+
+  LocalMatrix block;
+  block.value = {{{1.0, 2.0}, {3.0, 4.0}}};
+  cache.insert(make_canonical_pair_signature(field, source, kLooseQuantum), block);
+
+  LocalMatrix replay;
+  ASSERT_TRUE(cache.lookup(make_canonical_pair_signature(source, field, kLooseQuantum), replay));
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t q = 0; q < 2; ++q) {
+      EXPECT_DOUBLE_EQ(replay.value[p][q], block.value[q][p]) << p << q;
+    }
+  }
+  // Same orientation replays verbatim.
+  ASSERT_TRUE(cache.lookup(make_canonical_pair_signature(field, source, kLooseQuantum), replay));
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t q = 0; q < 2; ++q) {
+      EXPECT_DOUBLE_EQ(replay.value[p][q], block.value[p][q]) << p << q;
+    }
+  }
+}
+
+TEST(PairSignature, CanonicalKeysCollapseClassesOnTheUniformGrid) {
+  // The point of the exercise: role canonicalization must merge a
+  // substantial share of the ordered congruence classes (the ROADMAP's
+  // "~2x more hits" follow-up), because every merged class is one saved
+  // integration on the warm path.
+  geom::RectGridSpec spec;
+  spec.length_x = 30.0;
+  spec.length_y = 30.0;
+  spec.cells_x = 6;
+  spec.cells_y = 6;
+  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const BemModel model(geom::Mesh::build(geom::make_rect_grid(spec)), soil);
+  const auto& elements = model.elements();
+  const std::size_t m = elements.size();
+
+  std::unordered_map<PairSignature, int, PairSignatureHash> ordered;
+  std::unordered_map<PairSignature, int, PairSignatureHash> canonical;
+  for (std::size_t beta = 0; beta < m; ++beta) {
+    for (std::size_t alpha = beta; alpha < m; ++alpha) {
+      ++ordered[make_pair_signature(elements[beta], elements[alpha])];
+      ++canonical[make_canonical_pair_signature(elements[beta], elements[alpha]).signature];
+    }
+  }
+  EXPECT_LT(canonical.size(), ordered.size());
+  // At least a quarter of the classes must merge; measured on this grid the
+  // reduction is ~1.8x (474 vs 870 on the 12-cell bench grid).
+  EXPECT_LT(static_cast<double>(canonical.size()), 0.75 * static_cast<double>(ordered.size()));
+}
+
 TEST(PairSignature, NoCollisionsOnGradedGrid) {
   // The adversarial case: geometric grading makes most pair geometries
   // distinct. Group all pairs by signature at the default (parity-grade)
@@ -186,9 +293,8 @@ TEST(CongruenceCache, UniformGridHitRateAndParity) {
   const AssemblyResult off = assemble(model, {});
   EXPECT_EQ(off.cache_stats.hits + off.cache_stats.misses, 0u);  // disabled by default
 
-  AssemblyOptions options;
-  options.use_congruence_cache = true;
-  const AssemblyResult on = assemble(model, options);
+  CongruenceCache cache;
+  const AssemblyResult on = assemble(model, {}, {.cache = &cache});
 
   expect_parity(off.matrix, on.matrix, "uniform sequential");
   const CongruenceCacheStats& stats = on.cache_stats;
@@ -214,13 +320,14 @@ TEST(CongruenceCache, ParityAcrossSchedulesLoopsBackends) {
     for (const auto& [backend, backend_name] :
          {std::pair{Backend::kThreadPool, "pool"}, std::pair{Backend::kOpenMp, "omp"}}) {
       for (const auto& [schedule, schedule_name] : schedules) {
-        AssemblyOptions options;
-        options.num_threads = 4;
-        options.loop = loop;
-        options.schedule = schedule;
-        options.backend = backend;
-        options.use_congruence_cache = true;
-        const AssemblyResult on = assemble(model, options);
+        CongruenceCache cache;
+        AssemblyExecution execution;
+        execution.num_threads = 4;
+        execution.loop = loop;
+        execution.schedule = schedule;
+        execution.backend = backend;
+        execution.cache = &cache;
+        const AssemblyResult on = assemble(model, {}, execution);
         const std::string label =
             std::string(loop_name) + "_" + schedule_name + "_" + backend_name;
         expect_parity(reference.matrix, on.matrix, label);
@@ -236,14 +343,13 @@ TEST(CongruenceCache, ExternalCacheReusedAcrossAssemblies) {
   const AssemblyResult reference = assemble(model, {});
 
   CongruenceCache cache;
-  AssemblyOptions options;
-  options.congruence_cache = &cache;  // implies use
-  const AssemblyResult first = assemble(model, options);
+  const AssemblyExecution execution{.cache = &cache};
+  const AssemblyResult first = assemble(model, {}, execution);
   expect_parity(reference.matrix, first.matrix, "first warm-up run");
   const std::size_t entries_after_first = first.cache_stats.entries;
   EXPECT_GT(entries_after_first, 0u);
 
-  const AssemblyResult second = assemble(model, options);
+  const AssemblyResult second = assemble(model, {}, execution);
   expect_parity(reference.matrix, second.matrix, "fully warm run");
   // The warm run replays every pair from the cache and learns nothing new.
   EXPECT_EQ(second.cache_stats.hits - first.cache_stats.hits, second.element_pairs);
@@ -253,14 +359,15 @@ TEST(CongruenceCache, ExternalCacheReusedAcrossAssemblies) {
 
 TEST(CongruenceCache, StatsReportedThroughPhaseReport) {
   const BemModel model = uniform_model(2);
-  AnalysisOptions options;
-  options.assembly.use_congruence_cache = true;
+  CongruenceCache cache;
+  AnalysisExecution execution;
+  execution.assembly.cache = &cache;
   PhaseReport report;
-  const AnalysisResult result = analyze(model, options, &report);
+  const AnalysisResult result = analyze(model, {}, execution, &report);
 
-  EXPECT_EQ(static_cast<std::size_t>(report.counter("Congruence cache hits")),
+  EXPECT_EQ(static_cast<std::size_t>(report.counter(kCacheHitsCounter)),
             result.cache_stats.hits);
-  EXPECT_EQ(static_cast<std::size_t>(report.counter("Congruence cache misses")),
+  EXPECT_EQ(static_cast<std::size_t>(report.counter(kCacheMissesCounter)),
             result.cache_stats.misses);
   EXPECT_GT(result.cache_stats.hits, 0u);
   EXPECT_NE(report.to_string().find("Congruence cache hits"), std::string::npos);
@@ -272,14 +379,14 @@ TEST(CongruenceCache, PhaseReportCountsPerRunDeltasForExternalCache) {
   const BemModel model = uniform_model(2);
   const std::size_t pairs = model.element_count() * (model.element_count() + 1) / 2;
   CongruenceCache cache;
-  AnalysisOptions options;
-  options.assembly.congruence_cache = &cache;
+  AnalysisExecution execution;
+  execution.assembly.cache = &cache;
   PhaseReport report;
-  (void)analyze(model, options, &report);
-  (void)analyze(model, options, &report);
+  (void)analyze(model, {}, execution, &report);
+  (void)analyze(model, {}, execution, &report);
   // Two runs look up every pair once each; the warm second run adds pure hits.
-  EXPECT_DOUBLE_EQ(report.counter("Congruence cache hits") +
-                       report.counter("Congruence cache misses"),
+  EXPECT_DOUBLE_EQ(report.counter(kCacheHitsCounter) +
+                       report.counter(kCacheMissesCounter),
                    static_cast<double>(2 * pairs));
 }
 
@@ -288,9 +395,7 @@ TEST(CongruenceCache, CapStopsInsertionsButKeepsCorrectness) {
   const AssemblyResult reference = assemble(model, {});
 
   CongruenceCache tiny(kDefaultCongruenceQuantum, /*max_entries=*/4);
-  AssemblyOptions options;
-  options.congruence_cache = &tiny;
-  const AssemblyResult result = assemble(model, options);
+  const AssemblyResult result = assemble(model, {}, {.cache = &tiny});
   expect_parity(reference.matrix, result.matrix, "capped cache");
   EXPECT_LE(result.cache_stats.entries, 4u);
 }

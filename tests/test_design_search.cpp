@@ -102,5 +102,92 @@ TEST(DesignSearch, Validation) {
                ebem::InvalidArgument);
 }
 
+TEST(DesignSearch, WarmPathMatchesColdPathExactlyEnough) {
+  // Acceptance: end-to-end warm-cache results must match the cache-less
+  // cold path to <= 1e-12 on every candidate of the ladder.
+  DesignGoal goal;
+  goal.gpr = 100.0;
+  goal.max_resistance = 0.0;  // walk the whole ladder
+  goal.require_touch_safe = false;
+  goal.require_step_safe = false;
+  DesignSearchOptions options = site_30x20();
+  options.max_steps = 4;
+
+  DesignSearchOptions cold_options = options;
+  cold_options.warm_cache = false;
+  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.05, 1.5);
+  const DesignSearchResult warm = search_design(soil, goal, options);
+  const DesignSearchResult cold = search_design(soil, goal, cold_options);
+
+  ASSERT_EQ(warm.history.size(), cold.history.size());
+  for (std::size_t i = 0; i < warm.history.size(); ++i) {
+    EXPECT_NEAR(warm.history[i].resistance, cold.history[i].resistance,
+                1e-12 * cold.history[i].resistance)
+        << i;
+    EXPECT_NEAR(warm.history[i].max_touch, cold.history[i].max_touch,
+                1e-10 * cold.history[i].max_touch + 1e-12)
+        << i;
+    EXPECT_NEAR(warm.history[i].max_step, cold.history[i].max_step,
+                1e-10 * cold.history[i].max_step + 1e-12)
+        << i;
+  }
+  // The warm run actually exercised the cache; the cold run had none.
+  EXPECT_GT(warm.cache_stats.hits + warm.cache_stats.misses, 0u);
+  EXPECT_EQ(cold.cache_stats.hits + cold.cache_stats.misses, 0u);
+}
+
+TEST(DesignSearch, CacheStatisticsAccumulateAcrossCandidates) {
+  DesignGoal goal;
+  goal.gpr = 100.0;
+  goal.max_resistance = 0.0;
+  goal.require_touch_safe = false;
+  goal.require_step_safe = false;
+  DesignSearchOptions options = site_30x20();
+  options.max_steps = 3;
+  const DesignSearchResult result =
+      search_design(soil::LayeredSoil::uniform(0.02), goal, options);
+
+  ASSERT_EQ(result.history.size(), 3u);
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  for (const DesignCandidate& candidate : result.history) {
+    EXPECT_GT(candidate.cache.hits + candidate.cache.misses, 0u) << candidate.label();
+    hits += candidate.cache.hits;
+    misses += candidate.cache.misses;
+  }
+  // Ladder totals are exactly the per-candidate deltas summed.
+  EXPECT_EQ(result.cache_stats.hits, hits);
+  EXPECT_EQ(result.cache_stats.misses, misses);
+  // The shared cache kept growing: later candidates see existing entries.
+  EXPECT_GE(result.history.back().cache.entries, result.history.front().cache.entries);
+}
+
+TEST(DesignSearch, ExternalEngineKeepsItsCacheWarmAcrossSearches) {
+  DesignGoal goal;
+  goal.gpr = 100.0;
+  goal.max_resistance = 0.0;
+  goal.require_touch_safe = false;
+  goal.require_step_safe = false;
+  engine::Engine engine;
+  DesignSearchOptions options = site_30x20();
+  options.max_steps = 2;
+  options.engine = &engine;
+
+  const DesignSearchResult first = search_design(soil::LayeredSoil::uniform(0.02), goal, options);
+  const std::size_t entries_after_first = engine.cache_stats().entries;
+  EXPECT_GT(entries_after_first, 0u);
+
+  // The identical second search replays everything from the warm cache.
+  const DesignSearchResult second =
+      search_design(soil::LayeredSoil::uniform(0.02), goal, options);
+  EXPECT_EQ(second.cache_stats.misses, 0u);
+  EXPECT_EQ(engine.cache_stats().entries, entries_after_first);
+  ASSERT_EQ(first.history.size(), second.history.size());
+  for (std::size_t i = 0; i < first.history.size(); ++i) {
+    EXPECT_NEAR(second.history[i].resistance, first.history[i].resistance,
+                1e-12 * first.history[i].resistance);
+  }
+}
+
 }  // namespace
 }  // namespace ebem::cad

@@ -84,17 +84,19 @@ TEST(Barbera, SurfacePotentialHigherOverGridThanOutside) {
 }
 
 TEST_F(BalaidosSuite, ParallelAnalysisMatchesSequential) {
-  DesignOptions sequential;
-  sequential.analysis.assembly.series.tolerance = 1e-6;
-  GroundingSystem seq(case_->conductors, case_->soil_b, sequential);
+  DesignOptions options;
+  options.analysis.assembly.series.tolerance = 1e-6;
+  GroundingSystem seq(case_->conductors, case_->soil_b, options);
 
-  DesignOptions parallel = sequential;
-  parallel.analysis.assembly.num_threads = 4;
-  parallel.analysis.assembly.schedule = par::Schedule::dynamic(1);
-  GroundingSystem threaded(case_->conductors, case_->soil_b, parallel);
+  engine::ExecutionConfig config;
+  config.num_threads = 4;
+  config.schedule = par::Schedule::dynamic(1);
+  config.use_congruence_cache = false;  // bitwise comparison below
+  engine::Engine engine(config);
+  GroundingSystem threaded(case_->conductors, case_->soil_b, options);
 
   const double r_seq = seq.analyze().equivalent_resistance;
-  const double r_par = threaded.analyze().equivalent_resistance;
+  const double r_par = threaded.analyze(engine).equivalent_resistance;
   EXPECT_DOUBLE_EQ(r_seq, r_par);
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/common/error.hpp"
 #include "src/la/cholesky.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace ebem::la {
 namespace {
@@ -76,6 +77,69 @@ TEST(Cholesky, RhsSizeMismatchThrows) {
   a(0, 0) = a(1, 1) = 1.0;
   const Cholesky factor(a);
   EXPECT_THROW(factor.solve(std::vector<double>{1.0}), InvalidArgument);
+}
+
+/// Row-major n x k block whose column c is a deterministic random vector.
+std::vector<double> random_block(std::size_t n, std::size_t k, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> block(n * k);
+  for (double& v : block) v = dist(rng);
+  return block;
+}
+
+TEST(Cholesky, SolveManyMatchesColumnByColumnSolveBitwise) {
+  // The blocked substitutions run each column through the exact same
+  // operation sequence as solve(), so the match must be bitwise — any
+  // looser agreement would indicate a different summation order.
+  const std::size_t n = 37;
+  const std::size_t k = 11;  // deliberately not a multiple of the chunk width
+  const SymMatrix a = random_spd(n, 5);
+  const Cholesky factor(a);
+  const std::vector<double> block = random_block(n, k, 7);
+
+  const std::vector<double> many = factor.solve_many(block, k);
+  ASSERT_EQ(many.size(), n * k);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i) b[i] = block[i * k + c];
+    const std::vector<double> x = factor.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(many[i * k + c], x[i]) << "column " << c << " row " << i;
+    }
+  }
+}
+
+TEST(Cholesky, SolveManyIsBitwiseStableAcrossThreadCounts) {
+  const std::size_t n = 64;
+  const std::size_t k = 24;
+  const SymMatrix a = random_spd(n, 11);
+  const Cholesky factor(a);
+  const std::vector<double> block = random_block(n, k, 13);
+
+  const std::vector<double> serial = factor.solve_many(block, k);
+  for (const std::size_t threads : {2u, 4u}) {
+    par::ThreadPool pool(threads);
+    const std::vector<double> parallel = factor.solve_many(block, k, &pool);
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(Cholesky, SolveManySingleColumnMatchesSolve) {
+  const std::size_t n = 16;
+  const SymMatrix a = random_spd(n, 3);
+  const Cholesky factor(a);
+  const std::vector<double> b = random_block(n, 1, 21);
+  EXPECT_EQ(factor.solve_many(b, 1), factor.solve(b));
+}
+
+TEST(Cholesky, SolveManyValidatesBlockShape) {
+  SymMatrix a(2);
+  a(0, 0) = a(1, 1) = 1.0;
+  const Cholesky factor(a);
+  EXPECT_THROW((void)factor.solve_many(std::vector<double>{1.0, 2.0, 3.0}, 2),
+               InvalidArgument);
+  EXPECT_THROW((void)factor.solve_many(std::vector<double>{1.0, 2.0}, 0), InvalidArgument);
 }
 
 }  // namespace

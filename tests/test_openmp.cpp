@@ -47,14 +47,14 @@ TEST(OpenMpBackend, AssemblyMatchesThreadPool) {
   const bem::BemModel model(geom::Mesh::build(geom::make_rect_grid(spec)),
                             soil::LayeredSoil::two_layer(0.005, 0.016, 1.0));
 
-  bem::AssemblyOptions pool_options;
-  pool_options.num_threads = 4;
-  pool_options.backend = bem::Backend::kThreadPool;
-  const bem::AssemblyResult pool_result = bem::assemble(model, pool_options);
+  bem::AssemblyExecution pool_execution;
+  pool_execution.num_threads = 4;
+  pool_execution.backend = bem::Backend::kThreadPool;
+  const bem::AssemblyResult pool_result = bem::assemble(model, {}, pool_execution);
 
-  bem::AssemblyOptions omp_options = pool_options;
-  omp_options.backend = bem::Backend::kOpenMp;
-  const bem::AssemblyResult omp_result = bem::assemble(model, omp_options);
+  bem::AssemblyExecution omp_execution = pool_execution;
+  omp_execution.backend = bem::Backend::kOpenMp;
+  const bem::AssemblyResult omp_result = bem::assemble(model, {}, omp_execution);
 
   // Fused streaming assembly scatters concurrently, so the two backends may
   // differ only by floating-point accumulation order.
@@ -77,11 +77,11 @@ TEST(OpenMpBackend, InnerLoopModeAlsoMatches) {
 
   const bem::AssemblyResult sequential = bem::assemble(model, {});
 
-  bem::AssemblyOptions omp_options;
-  omp_options.num_threads = 2;
-  omp_options.backend = bem::Backend::kOpenMp;
-  omp_options.loop = bem::ParallelLoop::kInner;
-  const bem::AssemblyResult omp_result = bem::assemble(model, omp_options);
+  bem::AssemblyExecution omp_execution;
+  omp_execution.num_threads = 2;
+  omp_execution.backend = bem::Backend::kOpenMp;
+  omp_execution.loop = bem::ParallelLoop::kInner;
+  const bem::AssemblyResult omp_result = bem::assemble(model, {}, omp_execution);
 
   const auto a = sequential.matrix.packed();
   const auto b = omp_result.matrix.packed();
