@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/bem/assembly.hpp"
+#include "src/common/resource_usage.hpp"
 #include "src/common/timer.hpp"
 #include "src/engine/engine.hpp"
 #include "src/engine/study.hpp"
@@ -201,10 +202,12 @@ int main(int argc, char** argv) {
           "{\"bench\":\"cache\",\"grid\":\"%s\",\"elements\":%zu,\"pairs\":%zu,"
           "\"threads\":%zu,\"hits\":%zu,\"misses\":%zu,\"entries\":%zu,"
           "\"hit_rate\":%.4f,\"seconds_off\":%.6f,\"seconds_on\":%.6f,"
-          "\"speedup\":%.3f,\"max_rel_diff\":%.3e,\"parity_ok\":%s}\n",
+          "\"speedup\":%.3f,\"max_rel_diff\":%.3e,\"parity_ok\":%s,"
+          "\"matrix_bytes_resident\":%zu,\"peak_rss_kb\":%zu}\n",
           grid.name, m, on.element_pairs, threads, on.cache_stats.hits, on.cache_stats.misses,
           on.cache_stats.entries, on.cache_stats.hit_rate(), seconds_off, seconds_on,
-          seconds_off / seconds_on, diff, ok ? "true" : "false");
+          seconds_off / seconds_on, diff, ok ? "true" : "false",
+          on.matrix.tile_stats().resident_bytes, peak_rss_bytes() / 1024);
     }
   }
 

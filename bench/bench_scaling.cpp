@@ -19,6 +19,7 @@
 
 #include "src/bem/assembly.hpp"
 #include "src/bem/solver.hpp"
+#include "src/common/resource_usage.hpp"
 #include "src/common/timer.hpp"
 #include "src/geom/grid_builder.hpp"
 #include "src/geom/mesh.hpp"
@@ -37,11 +38,13 @@ struct PhaseTimes {
 };
 
 void emit(const char* phase, std::size_t threads, std::size_t elements, std::size_t dofs,
-          double seconds, double baseline_seconds) {
+          double seconds, double baseline_seconds, std::size_t matrix_bytes_resident) {
   std::printf(
       "{\"bench\":\"scaling\",\"phase\":\"%s\",\"threads\":%zu,\"elements\":%zu,"
-      "\"dofs\":%zu,\"seconds\":%.6f,\"speedup\":%.3f}\n",
-      phase, threads, elements, dofs, seconds, baseline_seconds / seconds);
+      "\"dofs\":%zu,\"seconds\":%.6f,\"speedup\":%.3f,"
+      "\"matrix_bytes_resident\":%zu,\"peak_rss_kb\":%zu}\n",
+      phase, threads, elements, dofs, seconds, baseline_seconds / seconds,
+      matrix_bytes_resident, peak_rss_bytes() / 1024);
 }
 
 double best_of(int repeats, const auto& run) {
@@ -88,7 +91,8 @@ int main(int argc, char** argv) {
     execution.pool = &pool;
     const double seconds = best_of(2, [&] { system = bem::assemble(model, {}, execution); });
     if (threads == 1) assembly_base = seconds;
-    emit("assembly", threads, m, system.matrix.size(), seconds, assembly_base);
+    emit("assembly", threads, m, system.matrix.size(), seconds, assembly_base,
+         system.matrix.tile_stats().resident_bytes);
   }
 
   // --- Phase 2: blocked Cholesky on the grid system and a synthetic SPD. ----
@@ -99,7 +103,8 @@ int main(int argc, char** argv) {
     const double seconds =
         best_of(3, [&] { const la::Cholesky factor(system.matrix, options); (void)factor; });
     if (threads == 1) grid_chol_base = seconds;
-    emit("cholesky_grid", threads, m, system.matrix.size(), seconds, grid_chol_base);
+    emit("cholesky_grid", threads, m, system.matrix.size(), seconds, grid_chol_base,
+         system.matrix.tile_stats().resident_bytes);
   }
 
   const la::SymMatrix synthetic = la::testing::random_spd(synthetic_n, 42);
@@ -110,7 +115,8 @@ int main(int argc, char** argv) {
     const double seconds =
         best_of(3, [&] { const la::Cholesky factor(synthetic, options); (void)factor; });
     if (threads == 1) synth_chol_base = seconds;
-    emit("cholesky_synthetic", threads, 0, synthetic_n, seconds, synth_chol_base);
+    emit("cholesky_synthetic", threads, 0, synthetic_n, seconds, synth_chol_base,
+         synthetic.tile_stats().resident_bytes);
   }
 
   // --- Phase 3: PCG on the grid system (parallel matvec). -------------------
@@ -122,7 +128,8 @@ int main(int argc, char** argv) {
     const double seconds =
         best_of(3, [&] { (void)bem::solve(system.matrix, system.rhs, options, execution); });
     if (threads == 1) pcg_base = seconds;
-    emit("pcg", threads, m, system.matrix.size(), seconds, pcg_base);
+    emit("pcg", threads, m, system.matrix.size(), seconds, pcg_base,
+         system.matrix.tile_stats().resident_bytes);
   }
   return 0;
 }

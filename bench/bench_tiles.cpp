@@ -1,0 +1,221 @@
+// Tiled-storage bench: assembly + Cholesky factor + solve of the bench grid
+// across (tile_size, residency budget) configurations, comparing the
+// out-of-core spill backend against the fully resident in-memory arena.
+// One JSON line per configuration for artifact archiving, including the
+// pager counters (evictions, spill IO), both stores' peak resident bytes,
+// and the process peak RSS — the numbers that make memory wins visible in
+// the bench-json CI artifacts.
+//
+// Usage: bench_tiles [cells] [synthetic_n] [--check]
+//   cells        grid cells per side (default 12 -> 312 elements)
+//   synthetic_n  size of a synthetic SPD factor+solve case exercising the
+//                pager at a dimension the grid alone cannot reach
+//                (default 768; 0 skips it)
+//   --check      CI smoke: exit nonzero unless every spill configuration
+//                 * matches the in-memory solution to 1e-12 relative,
+//                 * stays capped at <= 50% of matrix bytes resident in both
+//                   the matrix store and the factor's working store, and
+//                 * actually paged (evictions and read-backs > 0), with the
+//                   eviction/IO counters visible on an engine PhaseReport.
+//                Run under `ulimit -v` this proves the out-of-core path
+//                works beneath a real address-space cap.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/bem/assembly.hpp"
+#include "src/common/resource_usage.hpp"
+#include "src/common/timer.hpp"
+#include "src/engine/counters.hpp"
+#include "src/engine/engine.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/la/cholesky.hpp"
+#include "src/la/tile_store.hpp"
+#include "tests/support/random_spd.hpp"
+
+namespace {
+
+using namespace ebem;
+
+double max_rel_diff(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double scale = std::abs(a[k]) + 1e-300;
+    worst = std::max(worst, std::abs(a[k] - b[k]) / scale);
+  }
+  return worst;
+}
+
+struct CaseResult {
+  bool spilled = false;
+  bool parity_ok = true;
+  bool capped_ok = true;
+  bool paged_ok = true;
+};
+
+/// Factor + solve `matrix` for `rhs`, reporting parity against `reference`
+/// and whether both stores stayed within half the matrix bytes.
+CaseResult run_case(const char* name, const la::SymMatrix& matrix,
+                    const std::vector<double>& rhs, const std::vector<double>& reference,
+                    double assemble_seconds) {
+  const la::StorageConfig& storage = matrix.storage_config();
+  const std::size_t tile = matrix.layout().tile();
+  const std::size_t matrix_bytes = matrix.layout().total_bytes();
+
+  WallTimer factor_timer;
+  const la::Cholesky factor(matrix, {.block = tile});
+  const double factor_seconds = factor_timer.seconds();
+
+  WallTimer solve_timer;
+  const std::vector<double> x = factor.solve(rhs);
+  const double solve_seconds = solve_timer.seconds();
+
+  const la::TileStoreStats ms = matrix.tile_stats();
+  const la::TileStoreStats fs = factor.tile_stats();
+  const double diff = max_rel_diff(reference, x);
+
+  CaseResult result;
+  result.spilled = storage.residency_budget_bytes > 0;
+  result.parity_ok = diff <= 1e-12;
+  if (result.spilled) {
+    // The factor pins up to three tiles at once, so a <= 50% residency cap
+    // is only geometrically feasible from six tiles up; below that the
+    // pager still works, but the cap check would be vacuous. Likewise a
+    // store whose budget already holds every tile can never evict, so the
+    // really-paged gate only applies when the tile count exceeds the
+    // budget's slot capacity.
+    const bool cap_feasible = 6 * matrix.layout().tile_bytes() <= matrix_bytes;
+    result.capped_ok = !cap_feasible || (ms.peak_resident_bytes * 2 <= matrix_bytes &&
+                                         fs.peak_resident_bytes * 2 <= matrix_bytes);
+    const std::size_t slots = std::max<std::size_t>(
+        1, storage.residency_budget_bytes / matrix.layout().tile_bytes());
+    const bool can_page = matrix.layout().tile_count() > slots;
+    result.paged_ok = !can_page || ((ms.evictions + fs.evictions) > 0 &&
+                                    (ms.spill_reads + fs.spill_reads) > 0);
+  }
+  std::printf(
+      "{\"bench\":\"tiles\",\"case\":\"%s\",\"n\":%zu,\"tile\":%zu,"
+      "\"residency_budget_bytes\":%zu,\"matrix_bytes\":%zu,"
+      "\"matrix_peak_resident\":%zu,\"factor_peak_resident\":%zu,"
+      "\"evictions\":%zu,\"spill_writes\":%zu,\"spill_reads\":%zu,"
+      "\"assemble_seconds\":%.6f,\"factor_seconds\":%.6f,\"solve_seconds\":%.6f,"
+      "\"max_rel_diff\":%.3e,\"peak_rss_kb\":%zu}\n",
+      name, matrix.size(), tile, storage.residency_budget_bytes, matrix_bytes,
+      ms.peak_resident_bytes, fs.peak_resident_bytes, ms.evictions + fs.evictions,
+      ms.spill_writes + fs.spill_writes, ms.spill_reads + fs.spill_reads, assemble_seconds,
+      factor_seconds, solve_seconds, diff, peak_rss_bytes() / 1024);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t cells = 12;
+  std::size_t synthetic_n = 768;
+  bool check = false;
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (positional == 0) {
+      cells = std::strtoul(argv[i], nullptr, 10);
+      ++positional;
+    } else {
+      synthetic_n = std::strtoul(argv[i], nullptr, 10);
+      ++positional;
+    }
+  }
+  if (cells == 0) {
+    std::fprintf(stderr, "usage: bench_tiles [cells >= 1] [synthetic_n] [--check]\n");
+    return 1;
+  }
+
+  geom::RectGridSpec spec;
+  spec.length_x = 5.0 * static_cast<double>(cells);
+  spec.length_y = 5.0 * static_cast<double>(cells);
+  spec.cells_x = cells;
+  spec.cells_y = cells;
+  const auto soil = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const bem::BemModel model(geom::Mesh::build(geom::make_rect_grid(spec)), soil);
+
+  bool ok = true;
+  const auto account = [&](const CaseResult& r) {
+    ok = ok && r.parity_ok && r.capped_ok && r.paged_ok;
+  };
+
+  // --- Grid sweep: (tile_size, residency fraction) -------------------------
+  const bem::AssemblyResult ref = bem::assemble(model);
+  const la::Cholesky ref_factor(ref.matrix);
+  const std::vector<double> reference = ref_factor.solve(ref.rhs);
+
+  for (const std::size_t tile : {std::size_t{32}, std::size_t{64}}) {
+    for (const double fraction : {0.0, 0.5, 0.25}) {
+      const std::size_t total =
+          la::TileLayout(ref.matrix.size(), tile).total_bytes();
+      la::StorageConfig storage;
+      storage.tile_size = tile;
+      storage.residency_budget_bytes =
+          fraction > 0.0 ? static_cast<std::size_t>(fraction * static_cast<double>(total)) : 0;
+      bem::AssemblyExecution execution;
+      execution.storage = storage;
+      WallTimer assemble_timer;
+      const bem::AssemblyResult spilled = bem::assemble(model, {}, execution);
+      const double assemble_seconds = assemble_timer.seconds();
+      account(run_case("grid", spilled.matrix, spilled.rhs, reference, assemble_seconds));
+    }
+  }
+
+  // --- Synthetic SPD factor+solve at a larger dimension --------------------
+  if (synthetic_n > 0) {
+    const la::SymMatrix synthetic = la::testing::random_spd(synthetic_n, 42);
+    const std::vector<double> rhs = la::testing::random_vector(synthetic_n, 43);
+    const la::Cholesky synthetic_factor(synthetic);
+    const std::vector<double> synthetic_reference = synthetic_factor.solve(rhs);
+    for (const double fraction : {0.5, 0.25}) {
+      la::StorageConfig storage;
+      storage.tile_size = 64;
+      storage.residency_budget_bytes = static_cast<std::size_t>(
+          fraction * static_cast<double>(la::TileLayout(synthetic_n, 64).total_bytes()));
+      WallTimer copy_timer;
+      la::SymMatrix spilled(synthetic_n, storage);
+      la::copy_tiles(synthetic.store(), spilled.store());
+      account(run_case("synthetic", spilled, rhs, synthetic_reference, copy_timer.seconds()));
+    }
+  }
+
+  // --- Engine path: the same spill policy through ExecutionConfig, with the
+  // eviction/IO counters landing on the session PhaseReport. ----------------
+  {
+    engine::ExecutionConfig config;
+    config.storage.tile_size = 32;
+    config.storage.residency_budget_bytes = static_cast<std::size_t>(
+        0.4 * static_cast<double>(la::TileLayout(ref.matrix.size(), 32).total_bytes()));
+    engine::Engine engine(config);
+    const engine::FactoredSystem factored = engine.factor(model);
+    const std::vector<double> x = factored.solve();
+    const double diff = max_rel_diff(reference, x);
+    const double evictions = engine.report().counter(engine::kTileEvictionsCounter);
+    const double read_backs = engine.report().counter(engine::kTileSpillReadsCounter);
+    const bool engine_ok = diff <= 1e-12 && evictions > 0 && read_backs > 0;
+    ok = ok && engine_ok;
+    std::printf(
+        "{\"bench\":\"tiles\",\"case\":\"engine_report\",\"n\":%zu,\"tile\":32,"
+        "\"residency_budget_bytes\":%zu,\"report_evictions\":%.0f,"
+        "\"report_spill_writes\":%.0f,\"report_spill_reads\":%.0f,"
+        "\"max_rel_diff\":%.3e,\"peak_rss_kb\":%zu}\n",
+        ref.matrix.size(), config.storage.residency_budget_bytes, evictions,
+        engine.report().counter(engine::kTileSpillWritesCounter), read_backs, diff,
+        peak_rss_bytes() / 1024);
+  }
+
+  if (check && !ok) {
+    std::fprintf(stderr,
+                 "bench_tiles: a spill configuration broke parity, exceeded half the matrix "
+                 "bytes resident, or never paged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -37,6 +37,9 @@ AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
   // Normalized problem: R sigma_hat = nu with V_Gamma = 1.
   std::vector<double> sigma_hat =
       solve(system.matrix, system.rhs, execution.solver, execution.solve, &result.solve_stats);
+  // Snapshot after the solve: the matrix store keeps paging through the
+  // factor copy-in and the residual matvec, not just through assembly.
+  result.matrix_tiles = system.matrix.tile_stats();
   if (report != nullptr) {
     report->add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
   }

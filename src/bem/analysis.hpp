@@ -48,6 +48,7 @@ struct AnalysisResult {
   SolveStats solve_stats;
   std::vector<double> column_costs;    ///< forwarded from assembly, if measured
   CongruenceCacheStats cache_stats;    ///< forwarded from assembly (zeros if disabled)
+  la::TileStoreStats matrix_tiles;     ///< matrix-store pager counters from assembly
 };
 
 /// Run the analysis under an explicit execution plan. `report`, when

@@ -16,33 +16,36 @@ namespace ebem::bem {
 
 namespace {
 
-/// Concurrent accumulation view of the packed symmetric matrix: rows are
-/// hashed onto a fixed array of stripe locks. Scatters of one elemental
-/// block touch at most four entries on adjacent rows, so they almost always
-/// take a single lock; with the element-pair integration costing orders of
-/// magnitude more than the scatter, contention is negligible.
-class StripedMatrix {
+/// Concurrent accumulation view of the tiled symmetric matrix: each add
+/// locks the lock of the *tile* holding the entry (tile ids beyond the lock
+/// array share locks by modulus, which only ever over-serializes). An
+/// elemental 2x2 block maps to at most four tiles, and with the
+/// element-pair integration costing orders of magnitude more than the
+/// scatter, contention is negligible. Entry writes go through
+/// SymMatrix::add, so the same path drives the in-memory arena and the
+/// out-of-core spill pager (whose own pin bookkeeping is thread-safe; the
+/// tile lock makes the read-modify-write of the entry atomic).
+class TileLockedMatrix {
  public:
-  explicit StripedMatrix(la::SymMatrix& matrix)
-      : matrix_(matrix),
-        rows_per_stripe_(std::max<std::size_t>(
-            1, (matrix.size() + kStripes - 1) / kStripes)) {}
+  explicit TileLockedMatrix(la::SymMatrix& matrix) : matrix_(matrix) {}
 
   void add(std::size_t j, std::size_t i, double value) {
-    const std::size_t stripe = std::max(i, j) / rows_per_stripe_;
-    const std::scoped_lock lock(stripes_[stripe].mutex);
-    matrix_(j, i) += value;
+    const la::TileLayout& layout = matrix_.layout();
+    const std::size_t hi = std::max(i, j);
+    const std::size_t lo = std::min(i, j);
+    const std::size_t tile = layout.tile_index(layout.tile_of(hi), layout.tile_of(lo));
+    const std::scoped_lock lock(locks_[tile % kLocks].mutex);
+    matrix_.add(hi, lo, value);
   }
 
  private:
-  static constexpr std::size_t kStripes = 64;
-  struct alignas(64) Stripe {
+  static constexpr std::size_t kLocks = 256;
+  struct alignas(64) Lock {
     std::mutex mutex;
   };
 
   la::SymMatrix& matrix_;
-  std::size_t rows_per_stripe_;
-  std::array<Stripe, kStripes> stripes_;
+  std::array<Lock, kLocks> locks_;
 };
 
 /// Scatter one elemental block into the global symmetric matrix.
@@ -58,8 +61,9 @@ class StripedMatrix {
 ///    both the pair and its transpose hit the same diagonal entry — that
 ///    contribution enters twice.
 ///
-/// `Sink` is either the bare SymMatrix (sequential path) or a StripedMatrix
-/// (fused streaming path); both expose add-compatible entry access.
+/// `Sink` is either the bare SymMatrix (sequential path) or a
+/// TileLockedMatrix (fused streaming path); both expose add-compatible
+/// entry access.
 template <typename Sink>
 void scatter(const BemModel& model, BasisKind basis, std::size_t beta, std::size_t alpha,
              const LocalMatrix& local, Sink&& add) {
@@ -121,7 +125,7 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
   const auto& elements = model.elements();
 
   AssemblyResult result;
-  result.matrix = la::SymMatrix(n);
+  result.matrix = la::SymMatrix(n, execution.storage);
   result.rhs = build_rhs(model, basis);
   result.element_pairs = m * (m + 1) / 2;
 
@@ -130,6 +134,7 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
   CongruenceCache* cache = execution.cache;
   const auto finalize_stats = [&] {
     if (cache != nullptr) result.cache_stats = cache->stats();
+    result.matrix_tiles = result.matrix.tile_stats();
   };
 
   const bool sequential = execution.num_threads == 1 && execution.pool == nullptr &&
@@ -141,7 +146,7 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
         const LocalMatrix local =
             integrator.element_pair(elements[beta], elements[alpha], cache);
         scatter(model, basis, beta, alpha, local,
-                [&](std::size_t j, std::size_t i, double v) { result.matrix(j, i) += v; });
+                [&](std::size_t j, std::size_t i, double v) { result.matrix.add(j, i, v); });
       }
     }
     finalize_stats();
@@ -149,11 +154,11 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
   }
 
   // Fused streaming scheme: each worker computes an elemental matrix and
-  // immediately accumulates it into the global matrix through the stripe
+  // immediately accumulates it into the global matrix through the per-tile
   // locks — no per-pair storage, no serial scatter pass. With one thread
   // this degenerates to the sequential order, so timing-only runs
   // (measure_column_costs) stay bitwise identical to the sequential path.
-  StripedMatrix striped(result.matrix);
+  TileLockedMatrix striped(result.matrix);
   const auto fused_pair = [&](std::size_t beta, std::size_t alpha) {
     const LocalMatrix local = integrator.element_pair(elements[beta], elements[alpha], cache);
     scatter(model, basis, beta, alpha, local,

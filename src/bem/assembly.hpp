@@ -11,13 +11,17 @@
 //     are distributed (the lower-granularity alternative of Fig. 6.1).
 //
 // Parallel modes use a *fused streaming* scheme: every worker scatters each
-// elemental matrix into the global packed symmetric matrix as soon as it is
-// computed, synchronized by an array of row-striped locks. Because the
-// element-pair integration dominates the scatter by orders of magnitude, the
-// stripe locks are essentially uncontended; peak memory stays at the packed
-// O(N^2/2) of the result matrix itself. (The seed's two-phase scheme instead
-// materialized all M(M+1)/2 elemental blocks before a serial scatter pass —
-// O(M^2) extra memory and a serial Amdahl term.)
+// elemental matrix into the global tiled symmetric matrix as soon as it is
+// computed, synchronized by per-tile locks — an elemental 2x2 block maps to
+// at most four tiles of the la::TileStore backing the matrix, so the scheme
+// works unchanged whether the store is the in-memory arena or the
+// out-of-core spill pager. Because the element-pair integration dominates
+// the scatter by orders of magnitude, the tile locks are essentially
+// uncontended; peak memory stays at the lower-triangle tiles of the result
+// matrix itself — or at the pager's residency budget when one is set. (The
+// seed's two-phase scheme instead materialized all M(M+1)/2 elemental
+// blocks before a serial scatter pass — O(M^2) extra memory and a serial
+// Amdahl term.)
 #pragma once
 
 #include <cstddef>
@@ -75,6 +79,10 @@ struct AssemblyExecution {
   par::Schedule schedule = par::Schedule::dynamic(1);
   ParallelLoop loop = ParallelLoop::kOuter;
   Backend backend = Backend::kThreadPool;
+  /// Storage policy of the assembled matrix (tile size, and the spill
+  /// pager's residency budget for out-of-core assembly). The default is the
+  /// fully resident in-memory tile arena.
+  la::StorageConfig storage;
   /// Record the wall-clock cost of each outer column (feeds the schedule
   /// simulator used by the Fig. 6.1 / Table 6.2 / Table 6.3 benches).
   bool measure_column_costs = false;
@@ -93,6 +101,9 @@ struct AssemblyResult {
   /// Congruence-cache counters for this run (zeros when disabled; cumulative
   /// over the cache lifetime when an external cache was supplied).
   CongruenceCacheStats cache_stats;
+  /// Pager counters of the matrix's tile store over this assembly (zeros
+  /// except resident-byte gauges for the in-memory backend).
+  la::TileStoreStats matrix_tiles;
 };
 
 /// Generate the Galerkin system for the model under the given options and

@@ -16,17 +16,22 @@ std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> r
                                                                        : nullptr;
 
   if (options.kind == SolverKind::kCholesky) {
+    // The factor's working store inherits the matrix's storage policy, so a
+    // spill-backed system factors out of core with the same budget.
     const la::Cholesky factor(matrix, {.block = execution.cholesky_block, .pool = pool});
     std::vector<double> x = factor.solve(rhs);
     if (stats != nullptr) {
-      // Report the achieved residual for parity with the iterative path.
-      std::vector<double> r(rhs.begin(), rhs.end());
-      std::vector<double> ax(rhs.size());
-      matrix.multiply(x, ax, pool);
-      la::axpy(-1.0, ax, r);
       stats->iterations = 0;
-      const double b_norm = la::nrm2(rhs);
-      stats->relative_residual = b_norm > 0.0 ? la::nrm2(r) / b_norm : 0.0;
+      stats->factor_tiles = factor.tile_stats();
+      if (execution.measure_residual) {
+        // Report the achieved residual for parity with the iterative path.
+        std::vector<double> r(rhs.begin(), rhs.end());
+        std::vector<double> ax(rhs.size());
+        matrix.multiply(x, ax, pool, execution.matvec_parallel_cutoff);
+        la::axpy(-1.0, ax, r);
+        const double b_norm = la::nrm2(rhs);
+        stats->relative_residual = b_norm > 0.0 ? la::nrm2(r) / b_norm : 0.0;
+      }
     }
     return x;
   }
@@ -35,6 +40,7 @@ std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> r
   cg_options.tolerance = options.cg_tolerance;
   cg_options.max_iterations = options.cg_max_iterations;
   cg_options.pool = pool;
+  cg_options.parallel_cutoff = execution.matvec_parallel_cutoff;
   la::CgResult result = la::conjugate_gradient(matrix, rhs, cg_options);
   EBEM_EXPECT(result.converged, "PCG failed to converge");
   if (stats != nullptr) {

@@ -38,13 +38,25 @@ struct SolverOptions {
 /// owned; null keeps the serial reference path.
 struct SolveExecution {
   par::ThreadPool* pool = nullptr;
-  /// Panel width of the blocked Cholesky factorization.
+  /// Panel width (= factor tile size) of the blocked Cholesky factorization.
   std::size_t cholesky_block = 64;
+  /// Serial/parallel crossover of the pooled matvec (PCG iterations and the
+  /// direct path's residual check); engine::ExecutionConfig tunes it.
+  std::size_t matvec_parallel_cutoff = la::SymMatrix::kParallelCutoff;
+  /// Direct path only: whether a caller-supplied SolveStats gets the
+  /// achieved relative residual. The check costs one O(N^2) matvec — a full
+  /// re-page of a spill-backed matrix — so callers that only want the cheap
+  /// counters (factor_tiles) turn it off.
+  bool measure_residual = true;
 };
 
 struct SolveStats {
   std::size_t iterations = 0;  ///< 0 for the direct solver
   double relative_residual = 0.0;
+  /// Pager counters of the Cholesky factor's working store (zeros for PCG
+  /// and for in-memory factors) — evictions and spill IO of an out-of-core
+  /// solve surface here and on the engine's PhaseReport.
+  la::TileStoreStats factor_tiles;
 };
 
 /// Solve R sigma = nu. Throws if PCG fails to converge.

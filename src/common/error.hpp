@@ -1,8 +1,10 @@
 // Contract-checking helpers used across the library.
 //
-// Public API entry points validate their inputs with EBEM_EXPECT (throws
-// std::invalid_argument) so a misconfigured analysis fails loudly at setup
-// time; internal invariants use EBEM_ENSURE (throws std::logic_error).
+// Every exception the library throws derives from ebem::Error, so callers
+// can catch one type at the boundary. Public API entry points validate
+// their inputs with EBEM_EXPECT (throws ebem::InvalidArgument); internal
+// invariants use EBEM_ENSURE (throws ebem::InternalError); environment
+// failures such as an unwritable spill directory throw ebem::IoError.
 // Hot inner loops rely on assert() only.
 #pragma once
 
@@ -11,16 +13,30 @@
 
 namespace ebem {
 
-/// Thrown when a caller hands the library an invalid argument.
-class InvalidArgument : public std::invalid_argument {
+/// Root of the library's exception hierarchy; everything ebem throws IS-A
+/// Error, so `catch (const ebem::Error&)` is the one boundary handler.
+class Error : public std::runtime_error {
  public:
-  using std::invalid_argument::invalid_argument;
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a caller hands the library an invalid argument.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
 };
 
 /// Thrown when an internal invariant is violated (a library bug).
-class InternalError : public std::logic_error {
+class InternalError : public Error {
  public:
-  using std::logic_error::logic_error;
+  using Error::Error;
+};
+
+/// Thrown when the environment fails the library at runtime — file system
+/// errors from the out-of-core tile pager, unwritable spill directories.
+class IoError : public Error {
+ public:
+  using Error::Error;
 };
 
 namespace detail {

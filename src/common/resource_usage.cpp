@@ -1,0 +1,15 @@
+#include "src/common/resource_usage.hpp"
+
+#include <sys/resource.h>
+
+namespace ebem {
+
+std::size_t peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is kilobytes on Linux (bytes on macOS, but CI and the bench
+  // containers are Linux; a 1024x overshoot there would still be obvious).
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+}
+
+}  // namespace ebem

@@ -1,0 +1,14 @@
+// Process resource gauges for benches and reports.
+#pragma once
+
+#include <cstddef>
+
+namespace ebem {
+
+/// Peak resident-set size of this process in bytes (getrusage's high-water
+/// mark); 0 where the platform does not report it. The benches emit it next
+/// to the tile stores' resident-byte gauges so out-of-core memory wins are
+/// visible in the archived JSON.
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+}  // namespace ebem

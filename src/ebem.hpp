@@ -2,8 +2,8 @@
 //
 // Quick tour:
 //   engine::ExecutionConfig — every execution knob (threads, schedule,
-//       backend, warm congruence cache, solver kind/tolerances) in one
-//       validated struct, configured once per session
+//       backend, warm congruence cache, solver kind/tolerances, matrix
+//       storage policy) in one validated struct, configured once per session
 //   engine::Engine          — the long-lived execution context: one worker
 //       pool, one warm cache, one cumulative PhaseReport across analyses
 //   engine::Study           — a session binding an Engine to fixed physics;
@@ -17,6 +17,21 @@
 //       candidates through one warm Study
 //   post::PotentialEvaluator / assess_safety     — surface potentials, safety
 //   estimation::fit_two_layer                    — soil parameters from soundings
+//
+// Matrix storage (la/): the Galerkin matrix — the method's one O(N^2)
+// object — lives behind the pluggable la::TileStore interface as fixed-size
+// lower-triangle tiles with checkout/commit semantics. Two backends ship:
+// la::InMemoryTileStore (default; one contiguous arena, zero-copy tile
+// views) and la::SpillTileStore (file-backed LRU pager; an
+// ExecutionConfig::storage residency budget in bytes caps how much of the
+// matrix — and of its Cholesky factor — is resident, so systems beyond
+// single-node memory assemble, multiply and factor out of core, with
+// eviction/IO counters on the session PhaseReport). Every consumer walks
+// tiles: the fused assembly scatter locks per tile, the blocked Cholesky
+// uses panel = tile column, SymMatrix::multiply and PCG stream the
+// triangle tile by tile. A future H-matrix / low-rank backend slots in
+// behind the same checkout interface (see tile_store.hpp and ROADMAP.md).
+// examples/out_of_core.cpp is the walkthrough.
 //
 // The bem:: free functions (analyze, assemble, solve) remain as serial
 // shims; their option structs carry physics only. Anything that runs more
@@ -57,6 +72,7 @@
 #include "src/la/cholesky.hpp"
 #include "src/la/dense_matrix.hpp"
 #include "src/la/sym_matrix.hpp"
+#include "src/la/tile_store.hpp"
 #include "src/parallel/parallel_for.hpp"
 #include "src/parallel/openmp_backend.hpp"
 #include "src/parallel/schedule.hpp"

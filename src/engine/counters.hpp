@@ -16,4 +16,13 @@ inline constexpr const char* kFactorizationsCounter = "Cholesky factorizations";
 /// factorization".
 inline constexpr const char* kRhsSolvedCounter = "Right-hand sides solved";
 
+/// Tile-pager counters, summed over the matrix store and the Cholesky
+/// factor's working store of each run. All stay zero for fully resident
+/// (in-memory) storage; with an ExecutionConfig::storage residency budget
+/// they record how hard the out-of-core path worked — evictions, dirty
+/// tiles written to the spill file, and tiles read back on checkout.
+inline constexpr const char* kTileEvictionsCounter = "Tile evictions";
+inline constexpr const char* kTileSpillWritesCounter = "Tile spill writes";
+inline constexpr const char* kTileSpillReadsCounter = "Tile spill read-backs";
+
 }  // namespace ebem::engine

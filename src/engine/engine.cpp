@@ -62,6 +62,19 @@ void Engine::add_cache_counters(const bem::CongruenceCacheStats& delta) {
   report_.add_counter(bem::kCacheMissesCounter, static_cast<double>(delta.misses));
 }
 
+namespace {
+
+/// Fold one store's pager counters into a report. Fully resident stores
+/// contribute nothing, so in-memory sessions keep a clean Table 6.1.
+void add_tile_counters(PhaseReport& report, const la::TileStoreStats& stats) {
+  if (stats.evictions == 0 && stats.spill_writes == 0 && stats.spill_reads == 0) return;
+  report.add_counter(kTileEvictionsCounter, static_cast<double>(stats.evictions));
+  report.add_counter(kTileSpillWritesCounter, static_cast<double>(stats.spill_writes));
+  report.add_counter(kTileSpillReadsCounter, static_cast<double>(stats.spill_reads));
+}
+
+}  // namespace
+
 void Engine::clear_cache() {
   if (cache_) cache_->clear();
   cache_fingerprint_.reset();
@@ -87,13 +100,17 @@ bem::AssemblyExecution Engine::assembly_execution() {
   execution.schedule = config_.schedule;
   execution.loop = config_.loop;
   execution.backend = config_.backend;
+  execution.storage = config_.storage;
   execution.measure_column_costs = config_.measure_column_costs;
   execution.cache = cache_ ? &*cache_ : nullptr;
   return execution;
 }
 
 bem::SolveExecution Engine::solve_execution() const {
-  return {.pool = pool_, .cholesky_block = config_.cholesky_block};
+  return {.pool = pool_,
+          .cholesky_block = config_.cholesky_block,
+          .matvec_parallel_cutoff = config_.matvec_parallel_cutoff,
+          .measure_residual = config_.measure_residual};
 }
 
 bem::SolverOptions Engine::solver_options() const {
@@ -113,17 +130,32 @@ bem::AnalysisExecution Engine::analysis_execution() {
 bem::AssemblyResult Engine::assemble(const bem::BemModel& model,
                                      const bem::AssemblyOptions& options) {
   refresh_cache_fingerprint(model, options);
-  return bem::assemble(model, options, assembly_execution());
+  bem::AssemblyResult result = bem::assemble(model, options, assembly_execution());
+  // The matrix's store is created inside this call, so its cumulative
+  // counters are exactly this assembly's delta — fold them in like the
+  // analyze/factor paths do.
+  add_tile_counters(report_, result.matrix_tiles);
+  return result;
 }
 
 std::vector<double> Engine::solve(const la::SymMatrix& matrix, std::span<const double> rhs,
                                   bem::SolveStats* stats) {
-  std::vector<double> x = bem::solve(matrix, rhs, solver_options(), solve_execution(), stats);
+  bem::SolveStats local_stats;
+  bem::SolveStats* sink = stats != nullptr ? stats : &local_stats;
+  bem::SolveExecution execution = solve_execution();
+  // The local sink exists only to harvest the pager counters; don't let it
+  // trigger the residual check's O(N^2) matvec the caller never asked for.
+  if (stats == nullptr) execution.measure_residual = false;
+  std::vector<double> x = bem::solve(matrix, rhs, solver_options(), execution, sink);
   // Counted only once the factorization actually happened (the direct path
   // factors exactly once per solve; a throw above counts nothing).
   if (config_.solver == bem::SolverKind::kCholesky) {
     report_.add_counter(kFactorizationsCounter, 1.0);
   }
+  // The factor's working store is created and retired inside this call, so
+  // its cumulative counters are exactly this solve's delta. The matrix is
+  // caller-owned (cumulative across their calls) and not re-counted here.
+  add_tile_counters(report_, sink->factor_tiles);
   return x;
 }
 
@@ -138,6 +170,8 @@ bem::AnalysisResult Engine::analyze(const bem::BemModel& model,
   if (config_.solver == bem::SolverKind::kCholesky) {
     run.add_counter(kFactorizationsCounter, 1.0);
   }
+  add_tile_counters(run, result.matrix_tiles);
+  add_tile_counters(run, result.solve_stats.factor_tiles);
   report_.merge(run);
   if (run_report != nullptr) run_report->merge(run);
   return result;
@@ -158,6 +192,11 @@ FactoredSystem Engine::factor(const bem::BemModel& model, const bem::AnalysisOpt
   la::Cholesky factor(system.matrix, {.block = config_.cholesky_block, .pool = pool_});
   report_.add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
   report_.add_counter(kFactorizationsCounter, 1.0);
+  // Matrix-store counters cover assembly plus the factor copy-in; the
+  // factor store keeps paging for the handle's lifetime and is counted at
+  // this snapshot (its substitutions re-read tiles, not the matrix).
+  add_tile_counters(report_, system.matrix.tile_stats());
+  add_tile_counters(report_, factor.tile_stats());
   return FactoredSystem(std::move(factor), std::move(system.rhs), pool_, &report_);
 }
 

@@ -53,6 +53,26 @@ struct ExecutionConfig {
   double cg_tolerance = 1e-12;
   std::size_t cg_max_iterations = 0;  ///< 0 = automatic
   std::size_t cholesky_block = 64;
+  /// Serial/parallel crossover of the pooled symmetric matvec (PCG's A*p
+  /// and the direct path's residual check): systems smaller than this take
+  /// the bitwise-serial walk. The compile-time default
+  /// (la::SymMatrix::kParallelCutoff) was measured once on one machine;
+  /// this knob lets a session tune the crossover without recompiling.
+  std::size_t matvec_parallel_cutoff = la::SymMatrix::kParallelCutoff;
+  /// Report the direct solver's achieved relative residual on SolveStats.
+  /// The check costs one O(N^2) matvec per solve — under a spill-backed
+  /// storage budget that is a full re-page of the matrix — so out-of-core
+  /// sessions that don't need the statistic should turn it off.
+  bool measure_residual = true;
+
+  // --- matrix storage -----------------------------------------------------
+  /// Tile geometry and residency policy of every matrix (and Cholesky
+  /// factor) the engine's analyses allocate. The default is the fully
+  /// resident in-memory tile arena; setting residency_budget_bytes > 0
+  /// selects the file-backed spill pager, capping resident matrix bytes per
+  /// store — the out-of-core path for grids beyond single-node memory.
+  /// Eviction and spill-IO counters land on the session PhaseReport.
+  la::StorageConfig storage;
 
   // --- instrumentation ---------------------------------------------------
   /// Record per-column assembly costs (schedule-simulator input).

@@ -34,6 +34,10 @@ struct CgOptions {
   /// Non-owning worker pool: parallelizes the dominant A*p product of the
   /// SymMatrix overload (the O(N) vector updates stay serial). Null = serial.
   par::ThreadPool* pool = nullptr;
+  /// Serial/parallel crossover of the pooled matvec (see
+  /// SymMatrix::kParallelCutoff); engine::ExecutionConfig threads a session
+  /// override through here.
+  std::size_t parallel_cutoff = SymMatrix::kParallelCutoff;
 };
 
 struct CgResult {

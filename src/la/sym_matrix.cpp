@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
+#include "src/common/error.hpp"
 #include "src/parallel/parallel_for.hpp"
 #include "src/parallel/thread_pool.hpp"
 
@@ -11,50 +13,137 @@ namespace ebem::la {
 
 namespace {
 
-/// Contiguous row strips with approximately equal packed-entry counts
-/// (row i holds i + 1 entries, so equal-count strips mean equal flops).
-std::vector<std::size_t> balanced_row_strips(std::size_t n, std::size_t strips) {
-  std::vector<std::size_t> bounds(strips + 1, n);
+/// Contiguous tile-row strips with approximately equal tile counts (tile
+/// row I holds I + 1 tiles, so equal-count strips mean equal flops).
+std::vector<std::size_t> balanced_tile_row_strips(std::size_t tile_rows, std::size_t strips) {
+  std::vector<std::size_t> bounds(strips + 1, tile_rows);
   bounds[0] = 0;
-  const double total = 0.5 * static_cast<double>(n) * static_cast<double>(n + 1);
+  const double total = 0.5 * static_cast<double>(tile_rows) * static_cast<double>(tile_rows + 1);
   for (std::size_t s = 1; s < strips; ++s) {
     const double share = total * static_cast<double>(s) / static_cast<double>(strips);
-    // Smallest r with r (r + 1) / 2 >= share.
     const auto r = static_cast<std::size_t>(std::sqrt(2.0 * share));
-    bounds[s] = std::clamp(r, bounds[s - 1], n);
+    bounds[s] = std::clamp(r, bounds[s - 1], tile_rows);
   }
   return bounds;
 }
 
 }  // namespace
 
+SymMatrix::SymMatrix(std::size_t n, const StorageConfig& storage)
+    : n_(n), store_(make_tile_store(n, storage)), direct_(store_->direct_data()) {}
+
+SymMatrix::SymMatrix(const SymMatrix& other)
+    : n_(other.n_), store_(other.store_ ? other.store_->clone() : nullptr),
+      direct_(store_ ? store_->direct_data() : nullptr) {}
+
+SymMatrix& SymMatrix::operator=(const SymMatrix& other) {
+  if (this != &other) {
+    SymMatrix copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+std::size_t SymMatrix::arena_slot(std::size_t i, std::size_t j) const {
+  const TileLayout& layout = store_->layout();
+  return layout.tile_index(layout.tile_of(i), layout.tile_of(j)) * layout.tile_doubles() +
+         layout.tile_offset(i, j);
+}
+
+template <typename Op>
+void SymMatrix::apply_entry(std::size_t i, std::size_t j, Op&& op) {
+  if (i < j) std::swap(i, j);
+  if (direct_ != nullptr) {
+    op(direct_[arena_slot(i, j)]);
+    return;
+  }
+  const TileLayout& layout = store_->layout();
+  const TileGuard guard =
+      store_->checkout(layout.tile_of(i), layout.tile_of(j), TileAccess::kWrite);
+  op(guard.data()[layout.tile_offset(i, j)]);
+}
+
+double& SymMatrix::operator()(std::size_t i, std::size_t j) {
+  EBEM_EXPECT(direct_ != nullptr,
+              "mutable entry references require in-memory tile storage; "
+              "use set()/add() on a spill-backed matrix");
+  if (i < j) std::swap(i, j);
+  return direct_[arena_slot(i, j)];
+}
+
+double SymMatrix::get(std::size_t i, std::size_t j) const {
+  if (i < j) std::swap(i, j);
+  if (direct_ != nullptr) return direct_[arena_slot(i, j)];
+  const TileLayout& layout = store_->layout();
+  const TileGuard guard =
+      store_->checkout(layout.tile_of(i), layout.tile_of(j), TileAccess::kRead);
+  return guard.data()[layout.tile_offset(i, j)];
+}
+
+void SymMatrix::set(std::size_t i, std::size_t j, double value) {
+  apply_entry(i, j, [value](double& entry) { entry = value; });
+}
+
+void SymMatrix::add(std::size_t i, std::size_t j, double value) {
+  apply_entry(i, j, [value](double& entry) { entry += value; });
+}
+
 void SymMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   assert(x.size() == n_ && y.size() == n_);
   std::fill(y.begin(), y.end(), 0.0);
-  // Walk the packed triangle once, scattering both (i,j) and (j,i).
-  std::size_t k = 0;
-  for (std::size_t i = 0; i < n_; ++i) {
-    double yi = 0.0;
-    const double xi = x[i];
-    for (std::size_t j = 0; j < i; ++j, ++k) {
-      const double a = data_[k];
-      yi += a * x[j];
-      y[j] += a * xi;
+  if (n_ == 0) return;
+  const TileLayout& layout = store_->layout();
+  const std::size_t tile = layout.tile();
+  // Walk each lower-triangle tile once, scattering both (i, j) and (j, i).
+  for (std::size_t ti = 0; ti < layout.tile_rows(); ++ti) {
+    const std::size_t i0 = layout.row_begin(ti), i1 = layout.row_end(ti);
+    for (std::size_t tj = 0; tj <= ti; ++tj) {
+      const TileGuard guard = store_->checkout(ti, tj, TileAccess::kRead);
+      const double* t = guard.data();
+      const std::size_t j0 = layout.row_begin(tj);
+      const std::size_t j1 = layout.row_end(tj);
+      if (tj < ti) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double* row = t + (i - i0) * tile;
+          const double xi = x[i];
+          double yi = 0.0;
+          for (std::size_t j = j0; j < j1; ++j) {
+            const double a = row[j - j0];
+            yi += a * x[j];
+            y[j] += a * xi;
+          }
+          y[i] += yi;
+        }
+      } else {
+        // Diagonal tile: strictly-lower part scatters both ways, the
+        // diagonal entry once.
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double* row = t + (i - i0) * tile;
+          const double xi = x[i];
+          double yi = 0.0;
+          for (std::size_t j = j0; j < i; ++j) {
+            const double a = row[j - j0];
+            yi += a * x[j];
+            y[j] += a * xi;
+          }
+          y[i] += yi + row[i - j0] * xi;
+        }
+      }
     }
-    yi += data_[k++] * xi;  // diagonal
-    y[i] += yi;
   }
 }
 
-void SymMatrix::multiply(std::span<const double> x, std::span<double> y,
-                         par::ThreadPool* pool) const {
-  if (pool == nullptr || pool->num_threads() <= 1 || n_ < kParallelCutoff) {
+void SymMatrix::multiply(std::span<const double> x, std::span<double> y, par::ThreadPool* pool,
+                         std::size_t parallel_cutoff) const {
+  if (pool == nullptr || pool->num_threads() <= 1 || n_ < parallel_cutoff) {
     multiply(x, y);
     return;
   }
   assert(x.size() == n_ && y.size() == n_);
+  const TileLayout& layout = store_->layout();
+  const std::size_t tile = layout.tile();
   const std::size_t strips = pool->num_threads();
-  const std::vector<std::size_t> bounds = balanced_row_strips(n_, strips);
+  const std::vector<std::size_t> bounds = balanced_tile_row_strips(layout.tile_rows(), strips);
   // Reused per calling thread: PCG invokes this once per iteration, and a
   // fresh strips*n allocation each time would dominate small systems. The
   // workers must see the *caller's* buffer, and lambdas do not capture
@@ -63,24 +152,36 @@ void SymMatrix::multiply(std::span<const double> x, std::span<double> y,
   scratch.assign(strips * n_, 0.0);
   double* const partials = scratch.data();
 
-  // Pass 1: strip s walks its rows contiguously, owning y[i] for its rows
-  // and scattering the transpose part into its private partial vector.
-  // static_chunked(1) over strip ids pins strip s to thread s.
+  // Pass 1: strip s walks its tile rows, owning y[i] for its rows and
+  // scattering every transpose contribution into its private partial
+  // vector. static_chunked(1) over strip ids pins strip s to thread s.
   par::parallel_for_chunks(
       *pool, strips, par::Schedule::static_chunked(1),
       [&](par::ChunkRange range, std::size_t) {
         for (std::size_t s = range.begin; s < range.end; ++s) {
           double* partial = partials + s * n_;
-          for (std::size_t i = bounds[s]; i < bounds[s + 1]; ++i) {
-            const double* row = data_.data() + i * (i + 1) / 2;
-            const double xi = x[i];
-            double yi = 0.0;
-            for (std::size_t j = 0; j < i; ++j) {
-              const double a = row[j];
-              yi += a * x[j];
-              partial[j] += a * xi;
+          for (std::size_t ti = bounds[s]; ti < bounds[s + 1]; ++ti) {
+            const std::size_t i0 = layout.row_begin(ti), i1 = layout.row_end(ti);
+            for (std::size_t i = i0; i < i1; ++i) y[i] = 0.0;
+            for (std::size_t tj = 0; tj <= ti; ++tj) {
+              const TileGuard guard = store_->checkout(ti, tj, TileAccess::kRead);
+              const double* t = guard.data();
+              const std::size_t j0 = layout.row_begin(tj);
+              const std::size_t j1 = layout.row_end(tj);
+              for (std::size_t i = i0; i < i1; ++i) {
+                const double* row = t + (i - i0) * tile;
+                const double xi = x[i];
+                const std::size_t jmax = tj < ti ? j1 : i;
+                double yi = 0.0;
+                for (std::size_t j = j0; j < jmax; ++j) {
+                  const double a = row[j - j0];
+                  yi += a * x[j];
+                  partial[j] += a * xi;
+                }
+                if (tj == ti) yi += row[i - j0] * xi;
+                y[i] += yi;
+              }
             }
-            y[i] = yi + row[i] * xi;
           }
         }
       });
@@ -100,10 +201,26 @@ void SymMatrix::multiply(std::span<const double> x, std::span<double> y,
 
 std::vector<double> SymMatrix::diagonal() const {
   std::vector<double> diag(n_);
-  for (std::size_t i = 0; i < n_; ++i) diag[i] = (*this)(i, i);
+  if (n_ == 0) return diag;
+  const TileLayout& layout = store_->layout();
+  for (std::size_t ti = 0; ti < layout.tile_rows(); ++ti) {
+    const TileGuard guard = store_->checkout(ti, ti, TileAccess::kRead);
+    const double* t = guard.data();
+    for (std::size_t i = layout.row_begin(ti); i < layout.row_end(ti); ++i) {
+      const std::size_t local = i - layout.row_begin(ti);
+      diag[i] = t[local * layout.tile() + local];
+    }
+  }
   return diag;
 }
 
-void SymMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+std::vector<double> SymMatrix::packed() const {
+  if (store_ == nullptr) return {};
+  return packed_lower(*store_);
+}
+
+void SymMatrix::set_zero() {
+  if (store_ != nullptr) store_->set_zero();
+}
 
 }  // namespace ebem::la

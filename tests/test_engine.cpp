@@ -90,6 +90,84 @@ TEST(ExecutionConfig, AutoThreadsWithoutPoolUsesHardware) {
   EXPECT_GE(config.resolved_threads(), 1u);
 }
 
+TEST(ExecutionConfig, RejectsBrokenStoragePolicies) {
+  ExecutionConfig config;
+  config.storage.tile_size = 0;
+  EXPECT_THROW(config.validate(), ebem::InvalidArgument);
+  config = {};
+  config.storage.residency_budget_bytes = 1 << 20;
+  config.storage.spill_dir.clear();  // a budget needs somewhere to spill
+  EXPECT_THROW(config.validate(), ebem::InvalidArgument);
+  config.storage.spill_dir = ".";
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(ExecutionConfig, MatvecCutoffReachesTheSolvePlumbing) {
+  ExecutionConfig config;
+  config.matvec_parallel_cutoff = 17;
+  config.measure_residual = false;
+  Engine engine(config);
+  EXPECT_EQ(engine.solve_execution().matvec_parallel_cutoff, 17u);
+  EXPECT_FALSE(engine.solve_execution().measure_residual);
+  // Default stays the measured compile-time crossover.
+  Engine default_engine;
+  EXPECT_EQ(default_engine.solve_execution().matvec_parallel_cutoff,
+            la::SymMatrix::kParallelCutoff);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: out-of-core storage policy
+// ---------------------------------------------------------------------------
+
+TEST(Engine, SpillStorageMatchesInMemoryAndReportsPagerCounters) {
+  const bem::BemModel model = bench_model(4);
+
+  Engine in_memory{};
+  const bem::AnalysisResult reference = in_memory.analyze(model);
+
+  ExecutionConfig config;
+  config.storage.tile_size = 16;
+  const std::size_t n = reference.sigma.size();
+  config.storage.residency_budget_bytes =
+      la::TileLayout(n, 16).total_bytes() / 3;
+  Engine spilling(config);
+  const bem::AnalysisResult result = spilling.analyze(model);
+
+  ASSERT_EQ(result.sigma.size(), reference.sigma.size());
+  for (std::size_t i = 0; i < result.sigma.size(); ++i) {
+    EXPECT_NEAR(result.sigma[i], reference.sigma[i],
+                1e-12 * std::abs(reference.sigma[i]) + 1e-15);
+  }
+  // Eviction/IO counters land on the session PhaseReport; the in-memory
+  // session keeps a clean report.
+  EXPECT_GT(spilling.report().counter(kTileEvictionsCounter), 0.0);
+  EXPECT_GT(spilling.report().counter(kTileSpillReadsCounter), 0.0);
+  EXPECT_GT(spilling.report().counter(kTileSpillWritesCounter), 0.0);
+  EXPECT_EQ(in_memory.report().counter(kTileEvictionsCounter), 0.0);
+  EXPECT_GT(result.matrix_tiles.evictions, 0u);
+}
+
+TEST(Engine, FactorUnderSpillStorageSolvesAndCountsOnTheReport) {
+  const bem::BemModel model = bench_model(4);
+  Engine reference{};
+  const engine::FactoredSystem ref_factored = reference.factor(model);
+  const std::vector<double> ref_x = ref_factored.solve();
+
+  ExecutionConfig config;
+  config.storage.tile_size = 16;
+  config.storage.residency_budget_bytes =
+      la::TileLayout(ref_x.size(), 16).total_bytes() / 3;
+  Engine spilling(config);
+  const engine::FactoredSystem factored = spilling.factor(model);
+  const std::vector<double> x = factored.solve();
+  ASSERT_EQ(x.size(), ref_x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], ref_x[i], 1e-12 * std::abs(ref_x[i]) + 1e-15);
+  }
+  EXPECT_GT(spilling.report().counter(kTileEvictionsCounter), 0.0);
+  EXPECT_EQ(spilling.report().counter(kFactorizationsCounter), 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // Engine: warm cache across analyses
 // ---------------------------------------------------------------------------

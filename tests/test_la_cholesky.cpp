@@ -67,6 +67,68 @@ TEST(Cholesky, RejectsIndefiniteMatrix) {
   EXPECT_THROW(Cholesky{a}, InvalidArgument);
 }
 
+TEST(CholeskyFailurePaths, NonSpdInputRaisesEbemErrorWithClearMessage) {
+  // The whole hierarchy roots at ebem::Error, so a boundary handler can
+  // catch one type; the message must say what went wrong, not just where.
+  SymMatrix a(3);
+  a(0, 0) = 1.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 4.0;
+  try {
+    const Cholesky factor(a);
+    FAIL() << "expected ebem::Error";
+  } catch (const ebem::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("not positive definite"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CholeskyFailurePaths, NonSpdInputRaisesEbemErrorOnTheSpillBackend) {
+  // The out-of-core path must fail with the same typed error, not UB from a
+  // half-paged factor: the throw unwinds through pinned tile guards.
+  StorageConfig storage;
+  storage.tile_size = 2;
+  storage.residency_budget_bytes = 2 * TileLayout(4, 2).tile_bytes();
+  SymMatrix a(4, storage);
+  a.set(0, 0, 1.0);
+  a.set(1, 0, 2.0);
+  a.set(1, 1, 1.0);  // indefinite leading block
+  a.set(2, 2, 5.0);
+  a.set(3, 3, 5.0);
+  EXPECT_THROW(Cholesky(a, CholeskyOptions{.block = 2}), ebem::Error);
+}
+
+TEST(CholeskyFailurePaths, UnwritableSpillDirRaisesEbemErrorWithTheDirInTheMessage) {
+  StorageConfig storage;
+  storage.tile_size = 4;
+  storage.residency_budget_bytes = 1024;
+  storage.spill_dir = "/nonexistent-ebem-spill-dir";
+  try {
+    const SymMatrix a(16, storage);
+    FAIL() << "expected ebem::Error";
+  } catch (const ebem::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent-ebem-spill-dir"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CholeskyFailurePaths, UnwritableSpillDirForTheFactorStoreRaisesEbemError) {
+  // A healthy in-memory matrix whose *factor* is asked to spill somewhere
+  // unwritable: the error must surface at construction, typed, and leave
+  // the input matrix untouched.
+  const SymMatrix a = [] {
+    SymMatrix m(8);
+    for (std::size_t i = 0; i < 8; ++i) m(i, i) = 10.0;
+    return m;
+  }();
+  StorageConfig storage;
+  storage.residency_budget_bytes = 1024;
+  storage.spill_dir = "/nonexistent-ebem-spill-dir";
+  EXPECT_THROW(Cholesky(a, CholeskyOptions{.block = 4, .storage = storage}), ebem::Error);
+  EXPECT_DOUBLE_EQ(a(7, 7), 10.0);
+}
+
 TEST(Cholesky, RejectsZeroMatrix) {
   SymMatrix a(3);
   EXPECT_THROW(Cholesky{a}, InvalidArgument);

@@ -24,7 +24,7 @@ using testing::random_vector;
 /// the blocked factorization is checked against.
 std::vector<double> reference_factor(const SymMatrix& a) {
   const std::size_t n = a.size();
-  std::vector<double> l(a.packed().begin(), a.packed().end());
+  std::vector<double> l = a.packed();
   const auto index = [](std::size_t i, std::size_t j) { return i * (i + 1) / 2 + j; };
   for (std::size_t j = 0; j < n; ++j) {
     double diag = l[index(j, j)];
