@@ -6,55 +6,58 @@
 
 namespace ebem::bem {
 
+AnalysisResult finish_analysis(AssemblyResult system, std::vector<double> sigma_hat,
+                               double gpr) {
+  AnalysisResult result;
+  result.cache_stats = system.cache_stats;
+  // Snapshot after the solve: the matrix store keeps paging through the
+  // factor copy-in and the residual matvec, not just through assembly.
+  result.matrix_tiles = system.matrix.tile_stats();
+  // I_Gamma = integral of sigma over the electrodes = nu . sigma (eq. 2.2),
+  // evaluated at the normalized GPR and rescaled.
+  const double normalized_current = la::dot(system.rhs, sigma_hat);
+  EBEM_ENSURE(normalized_current > 0.0, "non-positive total leakage current");
+  result.equivalent_resistance = 1.0 / normalized_current;
+  result.total_current = gpr * normalized_current;
+  result.sigma = std::move(sigma_hat);
+  la::scal(gpr, result.sigma);
+  result.column_costs = std::move(system.column_costs);
+  return result;
+}
+
 AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
                        const AnalysisExecution& execution, PhaseReport* report) {
   EBEM_EXPECT(options.gpr > 0.0, "GPR must be positive");
-  AnalysisResult result;
 
   WallTimer wall;
   CpuTimer cpu;
-  // A shared cache's stats are cumulative over its lifetime; snapshot them
-  // so the report below can record this run's delta instead of re-adding
-  // earlier runs' counts on every analyze() call.
-  const CongruenceCacheStats cache_before =
-      execution.assembly.cache != nullptr ? execution.assembly.cache->stats()
-                                          : CongruenceCacheStats{};
   AssemblyResult system = assemble(model, options.assembly, execution.assembly);
-  result.cache_stats = system.cache_stats;
   if (report != nullptr) {
     report->add(Phase::kMatrixGeneration, wall.seconds(), cpu.seconds());
     if (execution.assembly.cache != nullptr) {
       // Raw additive counters only — a hit *rate* would not accumulate
-      // meaningfully across repeated analyze() calls into one report.
-      const CongruenceCacheStats delta = system.cache_stats.delta_since(cache_before);
-      report->add_counter(kCacheHitsCounter, static_cast<double>(delta.hits));
-      report->add_counter(kCacheMissesCounter, static_cast<double>(delta.misses));
+      // meaningfully across repeated analyze() calls into one report. The
+      // assembly tallies its own lookups, so this is this run's delta even
+      // when the cache is shared across concurrent runs.
+      report->add_counter(kCacheHitsCounter, static_cast<double>(system.cache_stats.hits));
+      report->add_counter(kCacheMissesCounter, static_cast<double>(system.cache_stats.misses));
     }
   }
 
   wall.reset();
   cpu.reset();
   // Normalized problem: R sigma_hat = nu with V_Gamma = 1.
+  SolveStats solve_stats;
   std::vector<double> sigma_hat =
-      solve(system.matrix, system.rhs, execution.solver, execution.solve, &result.solve_stats);
-  // Snapshot after the solve: the matrix store keeps paging through the
-  // factor copy-in and the residual matvec, not just through assembly.
-  result.matrix_tiles = system.matrix.tile_stats();
+      solve(system.matrix, system.rhs, execution.solver, execution.solve, &solve_stats);
   if (report != nullptr) {
     report->add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
   }
 
   wall.reset();
   cpu.reset();
-  // I_Gamma = integral of sigma over the electrodes = nu . sigma (eq. 2.2),
-  // evaluated at the normalized GPR and rescaled.
-  const double normalized_current = la::dot(system.rhs, sigma_hat);
-  EBEM_ENSURE(normalized_current > 0.0, "non-positive total leakage current");
-  result.equivalent_resistance = 1.0 / normalized_current;
-  result.total_current = options.gpr * normalized_current;
-  result.sigma = std::move(sigma_hat);
-  la::scal(options.gpr, result.sigma);
-  result.column_costs = std::move(system.column_costs);
+  AnalysisResult result = finish_analysis(std::move(system), std::move(sigma_hat), options.gpr);
+  result.solve_stats = solve_stats;
   if (report != nullptr) {
     report->add(Phase::kResultsStorage, wall.seconds(), cpu.seconds());
   }

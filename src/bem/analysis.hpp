@@ -58,6 +58,15 @@ struct AnalysisResult {
                                      const AnalysisExecution& execution,
                                      PhaseReport* report = nullptr);
 
+/// Post-solve tail of analyze(): turn the assembled system plus the
+/// normalized solution sigma_hat (of R sigma_hat = nu at V_Gamma = 1) into
+/// the final AnalysisResult — total current, equivalent resistance, sigma
+/// rescaled to the actual GPR. Shared between the blocking analyze() above
+/// and the engine scheduler's staged (assemble / factor / solve) pipeline so
+/// both paths produce identical numbers by construction.
+[[nodiscard]] AnalysisResult finish_analysis(AssemblyResult system,
+                                             std::vector<double> sigma_hat, double gpr);
+
 /// Serial reference shim: default execution, no warm resources. Sessions
 /// that run many analyses should go through engine::Engine / engine::Study
 /// instead, which keep one pool and one warm cache across calls.

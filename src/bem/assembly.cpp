@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <mutex>
 #include <optional>
 
@@ -131,10 +132,24 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
 
   // Congruence cache: referenced, never owned — a null cache means the
   // cached element_pair overload degenerates to the plain computation.
+  // Hits/misses are tallied here, per run: the cache's own counters span
+  // its whole lifetime across every (possibly concurrent) run sharing it,
+  // so they cannot attribute lookups to this assembly. One relaxed
+  // fetch_add per pair is noise next to the pair integration itself.
   CongruenceCache* cache = execution.cache;
+  std::atomic<std::size_t> tally_hits{0};
+  std::atomic<std::size_t> tally_misses{0};
   const auto finalize_stats = [&] {
-    if (cache != nullptr) result.cache_stats = cache->stats();
+    if (cache != nullptr) {
+      result.cache_stats.hits = tally_hits.load(std::memory_order_relaxed);
+      result.cache_stats.misses = tally_misses.load(std::memory_order_relaxed);
+      result.cache_stats.entries = cache->stats().entries;
+    }
     result.matrix_tiles = result.matrix.tile_stats();
+  };
+  const auto tally = [&](bool hit) {
+    if (cache == nullptr) return;
+    (hit ? tally_hits : tally_misses).fetch_add(1, std::memory_order_relaxed);
   };
 
   const bool sequential = execution.num_threads == 1 && execution.pool == nullptr &&
@@ -143,8 +158,10 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
     // Original sequential scheme: compute and assemble inside the loop.
     for (std::size_t beta = 0; beta < m; ++beta) {
       for (std::size_t alpha = beta; alpha < m; ++alpha) {
+        bool hit = false;
         const LocalMatrix local =
-            integrator.element_pair(elements[beta], elements[alpha], cache);
+            integrator.element_pair(elements[beta], elements[alpha], cache, &hit);
+        tally(hit);
         scatter(model, basis, beta, alpha, local,
                 [&](std::size_t j, std::size_t i, double v) { result.matrix.add(j, i, v); });
       }
@@ -160,7 +177,10 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
   // (measure_column_costs) stay bitwise identical to the sequential path.
   TileLockedMatrix striped(result.matrix);
   const auto fused_pair = [&](std::size_t beta, std::size_t alpha) {
-    const LocalMatrix local = integrator.element_pair(elements[beta], elements[alpha], cache);
+    bool hit = false;
+    const LocalMatrix local =
+        integrator.element_pair(elements[beta], elements[alpha], cache, &hit);
+    tally(hit);
     scatter(model, basis, beta, alpha, local,
             [&](std::size_t j, std::size_t i, double v) { striped.add(j, i, v); });
   };

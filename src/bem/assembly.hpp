@@ -98,8 +98,12 @@ struct AssemblyResult {
   std::vector<double> rhs;      ///< nu_j = integral of w_j (paper eq. 4.6)
   std::vector<double> column_costs;  ///< seconds per outer column, if measured
   std::size_t element_pairs = 0;
-  /// Congruence-cache counters for this run (zeros when disabled; cumulative
-  /// over the cache lifetime when an external cache was supplied).
+  /// Congruence-cache counters of *this assembly alone* (zeros when the
+  /// cache is disabled): hits/misses are tallied per looked-up pair inside
+  /// the run, so they stay exact even when several pipelined runs share one
+  /// warm cache concurrently — the shared cache's own stats() are
+  /// lifetime-cumulative across every run that ever touched it. `entries`
+  /// is the shared cache's occupancy right after this assembly.
   CongruenceCacheStats cache_stats;
   /// Pager counters of the matrix's tile store over this assembly (zeros
   /// except resident-byte gauges for the in-memory backend).

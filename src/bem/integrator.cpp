@@ -179,7 +179,8 @@ LocalMatrix Integrator::element_pair_analytic(const BemElement& field,
 }
 
 LocalMatrix Integrator::element_pair(const BemElement& field, const BemElement& source,
-                                     CongruenceCache* cache) const {
+                                     CongruenceCache* cache, bool* was_hit) const {
+  if (was_hit != nullptr) *was_hit = false;
   if (cache == nullptr) return element_pair(field, source);
   // Role-canonical key: well-separated pairs share one entry with their
   // swapped-role congruent copies (replayed transposed); near pairs keep the
@@ -187,7 +188,10 @@ LocalMatrix Integrator::element_pair(const BemElement& field, const BemElement& 
   const CanonicalPairSignature signature =
       make_canonical_pair_signature(field, source, cache->quantum());
   LocalMatrix block;
-  if (cache->lookup(signature, block)) return block;
+  if (cache->lookup(signature, block)) {
+    if (was_hit != nullptr) *was_hit = true;
+    return block;
+  }
   block = element_pair(field, source);
   cache->insert(signature, block);
   return block;

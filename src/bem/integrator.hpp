@@ -72,8 +72,13 @@ class Integrator {
   /// Cache-aware variant: a null `cache` is the plain computation; otherwise
   /// the pair's congruence signature is looked up first and the integration
   /// runs only on a miss (the result is then stored for congruent pairs).
+  /// `was_hit`, when non-null, receives whether the block was replayed — the
+  /// assembly's per-run hit/miss tally, which stays exact even when several
+  /// concurrent runs share the cache (the cache's own counters are
+  /// lifetime-cumulative across all of them).
   [[nodiscard]] LocalMatrix element_pair(const BemElement& field, const BemElement& source,
-                                         CongruenceCache* cache) const;
+                                         CongruenceCache* cache,
+                                         bool* was_hit = nullptr) const;
 
   /// Potential influence at point x of source element alpha's local DoFs
   /// (paper eq. 4.3): V(x) = sum_i sigma_i * coefficient_i.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/common/error.hpp"
 #include "src/geom/grid_builder.hpp"
@@ -13,6 +15,20 @@ std::string DesignCandidate::label() const {
   return std::to_string(cells_x) + "x" + std::to_string(cells_y) + " mesh + " +
          std::to_string(rods) + " rods";
 }
+
+namespace {
+
+/// One ladder rung in flight: the meshed system, its submitted analysis and
+/// the geometry/identity needed to finish the candidate when its future is
+/// consumed.
+struct PendingCandidate {
+  DesignCandidate candidate;
+  std::vector<geom::Conductor> conductors;
+  GroundingSystem system;
+  engine::RunFuture future;
+};
+
+}  // namespace
 
 DesignSearchResult search_design(const soil::LayeredSoil& soil, const DesignGoal& goal,
                                  const DesignSearchOptions& options) {
@@ -39,8 +55,33 @@ DesignSearchResult search_design(const soil::LayeredSoil& soil, const DesignGoal
   analysis.gpr = goal.gpr;
   analysis.assembly.series.tolerance = 1e-6;
   engine::Study study(*eng, analysis);
-  const bem::CongruenceCacheStats ladder_start = eng->cache_stats();
 
+  // Submit the whole ladder as a pipelined batch: meshing is cheap next to
+  // analysis, so every candidate is built and handed to the engine's
+  // scheduler up front — assembly of candidate k+1 overlaps the
+  // factorization/solve of candidate k on the shared pool. Results are
+  // consumed strictly in ladder order below; the tail beyond the first
+  // satisfying candidate is cancelled (runs that never started simply never
+  // run).
+  std::vector<PendingCandidate> ladder;
+  ladder.reserve(options.max_steps);
+  // Whatever ends the walk early — a meshing/submission failure, the first
+  // satisfying candidate, or a failed run unwinding out of adopt() — must
+  // cancel every submitted-but-unconsumed rung on the way out, or the
+  // engine (a locally owned one via its destructor drain) would grind
+  // through the remaining candidates first.
+  struct TailCanceller {
+    std::vector<PendingCandidate>& ladder;
+    std::size_t consumed = 0;
+    ~TailCanceller() {
+      // Best effort: rungs that have not started never will; rungs already
+      // in flight finish in the background (their results are simply never
+      // consumed) before the engine or ladder goes away.
+      for (std::size_t tail = consumed; tail < ladder.size(); ++tail) {
+        (void)ladder[tail].future.cancel();
+      }
+    }
+  } unconsumed{ladder};
   for (std::size_t step = 0; step < options.max_steps; ++step) {
     // Ladder: mesh density grows with every step; from the third step on,
     // perimeter rods are added in growing counts. Rods come later because
@@ -67,17 +108,32 @@ DesignSearchResult search_design(const soil::LayeredSoil& soil, const DesignGoal
 
     DesignOptions design_options;
     design_options.analysis = analysis;
-    GroundingSystem system(conductors, soil, design_options);
-    const Report& report = system.analyze(study);
+    PendingCandidate pending{
+        .candidate = {},
+        .conductors = conductors,
+        .system = GroundingSystem(std::move(conductors), soil, design_options),
+        .future = {},
+    };
+    pending.candidate.cells_x = cells_x;
+    pending.candidate.cells_y = cells_y;
+    pending.candidate.rods = rods;
+    pending.future = pending.system.submit(study);
+    ladder.push_back(std::move(pending));
+  }
 
-    DesignCandidate candidate;
-    candidate.cells_x = cells_x;
-    candidate.cells_y = cells_y;
-    candidate.rods = rods;
+  // Consume in ladder order; per-candidate cache deltas come from each run's
+  // own tally, so they stay exact even though the runs overlapped.
+  std::size_t chosen_index = ladder.size() - 1;
+  for (std::size_t step = 0; step < ladder.size(); ++step) {
+    PendingCandidate& pending = ladder[step];
+    unconsumed.consumed = step + 1;
+    const Report& report = pending.system.adopt(pending.future);
+
+    DesignCandidate& candidate = pending.candidate;
     candidate.resistance = report.equivalent_resistance;
     candidate.cache = report.cache_stats;
 
-    const auto evaluator = system.potential_evaluator();
+    const auto evaluator = pending.system.potential_evaluator();
     // Touch exposure exists only where grounded structures stand — inside
     // the site footprint; step exposure extends to the surroundings, so the
     // step patch carries the margin.
@@ -96,13 +152,19 @@ DesignSearchResult search_design(const soil::LayeredSoil& soil, const DesignGoal
                           (!goal.require_step_safe || step_assessment.step_safe());
     result.history.push_back(candidate);
     result.chosen = candidate;
-    result.conductors = std::move(conductors);
+    chosen_index = step;
+    // Ladder totals are the consumed candidates' own deltas summed — the
+    // only aggregation that stays exact when runs overlap (a global
+    // before/after snapshot would also count still-in-flight tail runs).
+    result.cache_stats.hits += candidate.cache.hits;
+    result.cache_stats.misses += candidate.cache.misses;
     if (candidate.satisfied) {
       result.satisfied = true;
       break;
     }
   }
-  result.cache_stats = eng->cache_stats().delta_since(ladder_start);
+  result.conductors = std::move(ladder[chosen_index].conductors);
+  result.cache_stats.entries = eng->cache_stats().entries;
   return result;
 }
 

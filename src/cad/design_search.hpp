@@ -72,11 +72,14 @@ struct DesignSearchResult {
   bem::CongruenceCacheStats cache_stats;
 };
 
-/// Run the ladder search. Every candidate is evaluated through one
-/// engine::Study, so the congruence cache stays warm from candidate to
-/// candidate and hit statistics accumulate across the ladder. Throws on
-/// invalid inputs; never throws for "no design satisfied the goals" (check
-/// `satisfied`).
+/// Run the ladder search. Every candidate goes through one engine::Study —
+/// submitted up front as a pipelined batch (the engine's scheduler overlaps
+/// candidate k+1's assembly with candidate k's factorization/solve on the
+/// shared pool) and consumed strictly in ladder order, so the congruence
+/// cache stays warm from candidate to candidate and each candidate reports
+/// its own exact hit/miss delta. The first satisfying candidate cancels the
+/// queued tail. Throws on invalid inputs; never throws for "no design
+/// satisfied the goals" (check `satisfied`).
 [[nodiscard]] DesignSearchResult search_design(const soil::LayeredSoil& soil,
                                                const DesignGoal& goal,
                                                const DesignSearchOptions& options);

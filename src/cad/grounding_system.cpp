@@ -59,9 +59,10 @@ const Report& GroundingSystem::analyze() {
 
 const Report& GroundingSystem::analyze(engine::Engine& engine) {
   PhaseReport phases = setup_phases_;
-  const bem::CongruenceCacheStats before = engine.cache_stats();
   solution_ = engine.analyze(model_, options_.analysis, &phases);
-  return finish_report(phases, engine.cache_stats().delta_since(before));
+  // The run tallied its own cache lookups — exact even when other runs
+  // shared the engine's cache concurrently.
+  return finish_report(phases, solution_->cache_stats);
 }
 
 const Report& GroundingSystem::analyze(engine::Study& study) {
@@ -75,7 +76,31 @@ const Report& GroundingSystem::analyze(engine::Study& study) {
               "this system's; construct both from the same AnalysisOptions");
   PhaseReport phases = setup_phases_;
   solution_ = study.analyze(model_, &phases);
-  return finish_report(phases, study.last_cache_delta());
+  return finish_report(phases, solution_->cache_stats);
+}
+
+engine::RunFuture GroundingSystem::submit(engine::Study& study) {
+  // Same agreement contract as analyze(Study&), checked at submission.
+  EBEM_EXPECT(study.options() == options_.analysis,
+              "GroundingSystem::submit(Study&): the study's analysis options differ from "
+              "this system's; construct both from the same AnalysisOptions");
+  return study.submit(model_);
+}
+
+const Report& GroundingSystem::adopt(engine::RunFuture& future) {
+  EBEM_EXPECT(future.valid(), "GroundingSystem::adopt: empty future");
+  bem::AnalysisResult result = future.take();
+  // Cheap belonging check: a future produced for a different system would
+  // pair the wrong sigma with this mesh and silently corrupt every surface
+  // potential downstream.
+  EBEM_EXPECT(result.sigma.size() ==
+                  model_.dof_count(options_.analysis.assembly.integrator.basis),
+              "GroundingSystem::adopt: the future's solution does not match this system's "
+              "model; adopt only futures from this system's submit()");
+  solution_ = std::move(result);
+  PhaseReport phases = setup_phases_;
+  phases.merge(future.report());
+  return finish_report(phases, solution_->cache_stats);
 }
 
 const Report& GroundingSystem::finish_report(const PhaseReport& phases,

@@ -69,6 +69,19 @@ class GroundingSystem {
   /// cache valid and the post-processing consistent.
   const Report& analyze(engine::Study& study);
 
+  /// Pipelined flavor of analyze(Study&): submit this system's model to the
+  /// study's scheduler and return the future immediately (same options
+  /// check). Several systems submitted back to back pipeline their
+  /// assemble/factor/solve stages on the engine's shared pool; hand the
+  /// future back to adopt() to install the result — cad::search_design
+  /// drives its whole candidate ladder this way.
+  [[nodiscard]] engine::RunFuture submit(engine::Study& study);
+
+  /// Install a submitted run's result as this system's solution (waits on
+  /// the future; rethrows the run's failure). The returned report carries
+  /// the run's phase timings and its exact per-run cache delta.
+  const Report& adopt(engine::RunFuture& future);
+
   /// Post-processing evaluator over the last analyze() solution.
   [[nodiscard]] post::PotentialEvaluator potential_evaluator(
       const post::PotentialOptions& options = {}) const;

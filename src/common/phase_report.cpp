@@ -30,25 +30,51 @@ const char* phase_name(Phase phase) {
   return "Unknown";
 }
 
+PhaseReport::PhaseReport(const PhaseReport& other) {
+  const std::scoped_lock lock(other.mutex_);
+  wall_ = other.wall_;
+  cpu_ = other.cpu_;
+  counters_ = other.counters_;
+}
+
+PhaseReport& PhaseReport::operator=(const PhaseReport& other) {
+  if (this == &other) return *this;
+  // Two distinct reports: lock both without ordering deadlocks.
+  const std::scoped_lock lock(mutex_, other.mutex_);
+  wall_ = other.wall_;
+  cpu_ = other.cpu_;
+  counters_ = other.counters_;
+  return *this;
+}
+
 void PhaseReport::add(Phase phase, double wall_seconds, double cpu_seconds) {
   EBEM_EXPECT(phase != Phase::kCount, "phase out of range");
+  const std::scoped_lock lock(mutex_);
   wall_[index_of(phase)] += wall_seconds;
   cpu_[index_of(phase)] += cpu_seconds;
 }
 
-double PhaseReport::wall_seconds(Phase phase) const { return wall_[index_of(phase)]; }
+double PhaseReport::wall_seconds(Phase phase) const {
+  const std::scoped_lock lock(mutex_);
+  return wall_[index_of(phase)];
+}
 
-double PhaseReport::cpu_seconds(Phase phase) const { return cpu_[index_of(phase)]; }
+double PhaseReport::cpu_seconds(Phase phase) const {
+  const std::scoped_lock lock(mutex_);
+  return cpu_[index_of(phase)];
+}
 
 double PhaseReport::total_wall_seconds() const {
+  const std::scoped_lock lock(mutex_);
   return std::accumulate(wall_.begin(), wall_.end(), 0.0);
 }
 
 double PhaseReport::total_cpu_seconds() const {
+  const std::scoped_lock lock(mutex_);
   return std::accumulate(cpu_.begin(), cpu_.end(), 0.0);
 }
 
-void PhaseReport::add_counter(std::string_view name, double value) {
+void PhaseReport::add_counter_locked(std::string_view name, double value) {
   for (auto& [existing, total] : counters_) {
     if (existing == name) {
       total += value;
@@ -58,7 +84,13 @@ void PhaseReport::add_counter(std::string_view name, double value) {
   counters_.emplace_back(std::string(name), value);
 }
 
+void PhaseReport::add_counter(std::string_view name, double value) {
+  const std::scoped_lock lock(mutex_);
+  add_counter_locked(name, value);
+}
+
 double PhaseReport::counter(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
   for (const auto& [existing, total] : counters_) {
     if (existing == name) return total;
   }
@@ -66,19 +98,27 @@ double PhaseReport::counter(std::string_view name) const {
 }
 
 void PhaseReport::merge(const PhaseReport& other) {
+  // Snapshot `other` under its own lock, then fold the snapshot in under
+  // ours. Taking the locks sequentially (never nested) keeps any
+  // merge-into-each-other pattern deadlock-free; self-merge doubles, which
+  // matches the additive contract.
+  PhaseReport snapshot(other);
+  const std::scoped_lock lock(mutex_);
   for (std::size_t i = 0; i < kNumPhases; ++i) {
-    wall_[i] += other.wall_[i];
-    cpu_[i] += other.cpu_[i];
+    wall_[i] += snapshot.wall_[i];
+    cpu_[i] += snapshot.cpu_[i];
   }
-  for (const auto& [name, value] : other.counters_) add_counter(name, value);
+  for (const auto& [name, value] : snapshot.counters_) add_counter_locked(name, value);
 }
 
 double PhaseReport::cpu_fraction(Phase phase) const {
-  const double total = total_cpu_seconds();
-  return total > 0.0 ? cpu_seconds(phase) / total : 0.0;
+  const std::scoped_lock lock(mutex_);
+  const double total = std::accumulate(cpu_.begin(), cpu_.end(), 0.0);
+  return total > 0.0 ? cpu_[index_of(phase)] / total : 0.0;
 }
 
 std::string PhaseReport::to_string() const {
+  const std::scoped_lock lock(mutex_);
   std::ostringstream os;
   os << std::left << std::setw(24) << "Process" << std::right << std::setw(14) << "CPU time(s)"
      << std::setw(14) << "Wall time(s)" << '\n';
@@ -87,8 +127,10 @@ std::string PhaseReport::to_string() const {
        << std::fixed << std::setprecision(3) << std::setw(14) << cpu_[i] << std::setw(14)
        << wall_[i] << '\n';
   }
+  const double total_cpu = std::accumulate(cpu_.begin(), cpu_.end(), 0.0);
+  const double total_wall = std::accumulate(wall_.begin(), wall_.end(), 0.0);
   os << std::left << std::setw(24) << "Total" << std::right << std::fixed << std::setprecision(3)
-     << std::setw(14) << total_cpu_seconds() << std::setw(14) << total_wall_seconds() << '\n';
+     << std::setw(14) << total_cpu << std::setw(14) << total_wall << '\n';
   if (!counters_.empty()) {
     os << std::defaultfloat << std::setprecision(6);
     for (const auto& [name, value] : counters_) {

@@ -4,10 +4,19 @@
 // Matrix Generation, Linear System Solving and Results Storage; this type is
 // the structured equivalent that the CAD facade fills in and the Table 6.1
 // bench prints.
+//
+// A PhaseReport is a thread-safe sink: add(), add_counter() and merge() from
+// concurrent runs are serialized internally, so the engine's pipelining
+// scheduler can fold several in-flight runs into one session report without
+// losing increments (named counters added from two runs concurrently land
+// additively, like phase times). Reads lock the same mutex; the one
+// exception is counters(), which returns a reference and is only meaningful
+// once concurrent writers are done.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -31,6 +40,13 @@ enum class Phase : std::size_t {
 /// Accumulated wall/CPU seconds per phase for one analysis run.
 class PhaseReport {
  public:
+  PhaseReport() = default;
+  /// Copies transfer the accumulated numbers, not the lock: each report owns
+  /// its own mutex. (No move operations — a copy of the small arrays is the
+  /// move, and keeping copies valid under a concurrent reader is simpler.)
+  PhaseReport(const PhaseReport& other);
+  PhaseReport& operator=(const PhaseReport& other);
+
   void add(Phase phase, double wall_seconds, double cpu_seconds);
 
   [[nodiscard]] double wall_seconds(Phase phase) const;
@@ -43,17 +59,21 @@ class PhaseReport {
 
   /// Accumulate a named auxiliary counter (congruence-cache hits, solver
   /// iterations, ...). Counters are additive across calls, like phase times
-  /// across add(), so rates belong to the caller, not the report.
+  /// across add(), so rates belong to the caller, not the report. Safe to
+  /// call from concurrent threads; no increment is lost.
   void add_counter(std::string_view name, double value);
 
   /// Accumulated value of `name`; 0 when never added.
   [[nodiscard]] double counter(std::string_view name) const;
 
   /// Accumulate every phase time and counter of `other` into this report —
-  /// how a per-run report folds into a session-cumulative sink.
+  /// how a per-run report folds into a session-cumulative sink. Safe against
+  /// concurrent merges/adds into this report; `other` is snapshotted first,
+  /// so merging a report that is itself still being written is also safe.
   void merge(const PhaseReport& other);
 
-  /// Counters in first-added order.
+  /// Counters in first-added order. Unsynchronized view: only read it once
+  /// concurrent writers are done (use counter() while runs are in flight).
   [[nodiscard]] const std::vector<std::pair<std::string, double>>& counters() const {
     return counters_;
   }
@@ -64,6 +84,10 @@ class PhaseReport {
 
  private:
   static constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+
+  void add_counter_locked(std::string_view name, double value);
+
+  mutable std::mutex mutex_;
   std::array<double, kNumPhases> wall_{};
   std::array<double, kNumPhases> cpu_{};
   std::vector<std::pair<std::string, double>> counters_;

@@ -3,7 +3,8 @@
 // Quick tour:
 //   engine::ExecutionConfig — every execution knob (threads, schedule,
 //       backend, warm congruence cache, solver kind/tolerances, matrix
-//       storage policy) in one validated struct, configured once per session
+//       storage policy, pipeline width) in one validated struct, configured
+//       once per session
 //   engine::Engine          — the long-lived execution context: one worker
 //       pool, one warm cache, one cumulative PhaseReport across analyses
 //   engine::Study           — a session binding an Engine to fixed physics;
@@ -14,9 +15,28 @@
 //   cad::GroundingSystem                         — mesh + solve + report
 //       (pass an Engine or Study to analyze() to share warm resources)
 //   cad::search_design                           — the CAD ladder, all
-//       candidates through one warm Study
+//       candidates submitted as one pipelined batch on one warm Study
 //   post::PotentialEvaluator / assess_safety     — surface potentials, safety
 //   estimation::fit_two_layer                    — soil parameters from soundings
+//
+// Asynchronous sessions (engine/): independent analyses — the paper's CAD
+// loop evaluating many nearby candidates — should be *submitted*, not run
+// one blocking call at a time. engine::Engine::submit(model) (and
+// Study::submit) return an engine::RunFuture immediately; the engine's
+// Scheduler decomposes every run into assemble -> factor -> solve stages
+// and dispatches ready stages from one queue onto a small set of stage
+// executors (ExecutionConfig::pipeline_width, default 2), so candidate
+// k+1's assembly overlaps candidate k's factorization/solve tail on the
+// shared pool. Futures offer wait/ready/get plus the run's own PhaseReport
+// and its exact congruence-cache delta (tallied inside the run — correct
+// even while runs share the warm cache concurrently); per-run
+// SubmitOptions (storage budget, residual measurement) are validated at
+// submit time. A physics change between submits defers the warm-cache
+// clear until in-flight assemblies drain. The blocking analyze()/factor()
+// calls are thin submit+get shims over the same pipeline, so both paths
+// produce identical numbers. examples/pipeline.cpp is the walkthrough;
+// bench/bench_pipeline.cpp measures sequential vs pipelined ladder wall
+// time and gates parity in CI.
 //
 // Matrix storage (la/): the Galerkin matrix — the method's one O(N^2)
 // object — lives behind the pluggable la::TileStore interface as fixed-size
@@ -56,6 +76,7 @@
 #include "src/engine/engine.hpp"
 #include "src/engine/execution_config.hpp"
 #include "src/engine/factored_system.hpp"
+#include "src/engine/scheduler.hpp"
 #include "src/engine/study.hpp"
 #include "src/estimation/wenner.hpp"
 #include "src/fdm/fd_solver.hpp"

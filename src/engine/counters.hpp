@@ -4,6 +4,9 @@
 // names live with their producer in src/bem/analysis.hpp.
 #pragma once
 
+#include "src/common/phase_report.hpp"
+#include "src/la/tile_store.hpp"
+
 namespace ebem::engine {
 
 /// Incremented once per successful direct (Cholesky) factorization —
@@ -24,5 +27,15 @@ inline constexpr const char* kRhsSolvedCounter = "Right-hand sides solved";
 inline constexpr const char* kTileEvictionsCounter = "Tile evictions";
 inline constexpr const char* kTileSpillWritesCounter = "Tile spill writes";
 inline constexpr const char* kTileSpillReadsCounter = "Tile spill read-backs";
+
+/// Fold one store's pager counters into a report. Fully resident stores
+/// contribute nothing, so in-memory sessions keep a clean Table 6.1. Shared
+/// by the blocking Engine paths and the scheduler's staged pipeline.
+inline void add_tile_counters(PhaseReport& report, const la::TileStoreStats& stats) {
+  if (stats.evictions == 0 && stats.spill_writes == 0 && stats.spill_reads == 0) return;
+  report.add_counter(kTileEvictionsCounter, static_cast<double>(stats.evictions));
+  report.add_counter(kTileSpillWritesCounter, static_cast<double>(stats.spill_writes));
+  report.add_counter(kTileSpillReadsCounter, static_cast<double>(stats.spill_reads));
+}
 
 }  // namespace ebem::engine

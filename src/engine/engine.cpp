@@ -3,9 +3,7 @@
 #include <bit>
 
 #include "src/common/hash.hpp"
-#include "src/common/timer.hpp"
 #include "src/engine/counters.hpp"
-#include "src/la/cholesky.hpp"
 #include "src/soil/soil_model.hpp"
 
 namespace ebem::engine {
@@ -14,11 +12,10 @@ namespace {
 
 [[nodiscard]] std::uint64_t word_of(double value) { return std::bit_cast<std::uint64_t>(value); }
 
-/// Order-dependent hash of everything the elemental blocks depend on besides
-/// pair geometry. Geometry congruence is the cache key's job; this pins the
-/// physics the key deliberately leaves out.
-[[nodiscard]] std::uint64_t physics_fingerprint(const soil::LayeredSoil& soil,
-                                                const bem::AssemblyOptions& options) {
+}  // namespace
+
+std::uint64_t physics_fingerprint(const soil::LayeredSoil& soil,
+                                  const bem::AssemblyOptions& options) {
   std::uint64_t h = 0x9d7fb3a5c1e42b17ULL;
   h = hash_combine(h, soil.layer_count());
   for (std::size_t c = 0; c < soil.layer_count(); ++c) {
@@ -38,7 +35,12 @@ namespace {
   return h;
 }
 
-}  // namespace
+AssemblyGate::AssemblyGate(Engine& engine, const std::optional<std::uint64_t>& fingerprint)
+    : engine_(engine) {
+  engine.begin_assembly(fingerprint);
+}
+
+AssemblyGate::~AssemblyGate() { engine_.end_assembly(); }
 
 Engine::Engine(const ExecutionConfig& config)
     : config_(config), threads_(config.resolved_threads()) {
@@ -54,43 +56,84 @@ Engine::Engine(const ExecutionConfig& config)
   }
 }
 
-void Engine::add_cache_counters(const bem::CongruenceCacheStats& delta) {
-  if (!cache_) return;
-  // Same counter names bem::analyze reports, so factor- and analyze-path
-  // runs accumulate into one session view.
-  report_.add_counter(bem::kCacheHitsCounter, static_cast<double>(delta.hits));
-  report_.add_counter(bem::kCacheMissesCounter, static_cast<double>(delta.misses));
+Engine::~Engine() {
+  // unique_ptr order alone would do (scheduler_ is declared last), but be
+  // explicit: the scheduler's destructor drains every submitted run while
+  // the pool and cache are still alive.
+  scheduler_.reset();
 }
 
-namespace {
-
-/// Fold one store's pager counters into a report. Fully resident stores
-/// contribute nothing, so in-memory sessions keep a clean Table 6.1.
-void add_tile_counters(PhaseReport& report, const la::TileStoreStats& stats) {
-  if (stats.evictions == 0 && stats.spill_writes == 0 && stats.spill_reads == 0) return;
-  report.add_counter(kTileEvictionsCounter, static_cast<double>(stats.evictions));
-  report.add_counter(kTileSpillWritesCounter, static_cast<double>(stats.spill_writes));
-  report.add_counter(kTileSpillReadsCounter, static_cast<double>(stats.spill_reads));
+Scheduler& Engine::scheduler() {
+  const std::scoped_lock lock(scheduler_mutex_);
+  if (scheduler_ == nullptr) {
+    scheduler_ = std::make_unique<Scheduler>(*this, config_.pipeline_width);
+  }
+  return *scheduler_;
 }
 
-}  // namespace
+RunFuture Engine::submit(bem::BemModel model, const bem::AnalysisOptions& options,
+                         const SubmitOptions& overrides) {
+  return scheduler().submit(std::move(model), options, overrides);
+}
+
+FactorFuture Engine::submit_factor(bem::BemModel model, const bem::AnalysisOptions& options,
+                                   const SubmitOptions& overrides) {
+  return scheduler().submit_factor(std::move(model), options, overrides);
+}
+
+void Engine::drain() {
+  // Snapshot the pointer, then drain unlocked: holding scheduler_mutex_
+  // through the drain would park concurrent submit() callers for the full
+  // remaining wall time of every in-flight run. The scheduler itself only
+  // dies with the Engine, so the unlocked call is safe.
+  Scheduler* scheduler = nullptr;
+  {
+    const std::scoped_lock lock(scheduler_mutex_);
+    scheduler = scheduler_.get();
+  }
+  if (scheduler != nullptr) scheduler->drain();
+}
 
 void Engine::clear_cache() {
+  std::unique_lock lock(gate_mutex_);
+  // Never drop entries under a run that is replaying them.
+  gate_cv_.wait(lock, [&] { return active_assemblies_ == 0; });
   if (cache_) cache_->clear();
   cache_fingerprint_.reset();
 }
 
-void Engine::refresh_cache_fingerprint(const bem::BemModel& model,
-                                       const bem::AssemblyOptions& options) {
-  if (!cache_) return;
-  const std::uint64_t fingerprint = physics_fingerprint(model.soil(), options);
-  if (cache_fingerprint_.has_value() && *cache_fingerprint_ != fingerprint) {
+void Engine::begin_assembly(const std::optional<std::uint64_t>& fingerprint) {
+  if (!cache_ || !fingerprint.has_value()) {
+    // No shared warm state to keep coherent: admit unconditionally (the
+    // counter still balances end_assembly and keeps clear_cache honest).
+    const std::scoped_lock lock(gate_mutex_);
+    ++active_assemblies_;
+    return;
+  }
+  std::unique_lock lock(gate_mutex_);
+  // A matching run joins the in-flight set immediately; a physics change
+  // waits for the set to drain, then clears — so entries of the old physics
+  // are never dropped (or replayed) mid-assembly.
+  gate_cv_.wait(lock, [&] {
+    return active_assemblies_ == 0 ||
+           (cache_fingerprint_.has_value() && *cache_fingerprint_ == *fingerprint);
+  });
+  if (!cache_fingerprint_.has_value() || *cache_fingerprint_ != *fingerprint) {
     // Different physics, same geometry classes would replay wrong blocks:
     // drop the warm entries. The hit/miss counters survive — they are
-    // session statistics, and per-run deltas are snapshotted around this.
+    // session statistics; per-run deltas are tallied inside each assembly.
     cache_->drop_entries();
+    cache_fingerprint_ = *fingerprint;
   }
-  cache_fingerprint_ = fingerprint;
+  ++active_assemblies_;
+}
+
+void Engine::end_assembly() {
+  {
+    const std::scoped_lock lock(gate_mutex_);
+    --active_assemblies_;
+  }
+  gate_cv_.notify_all();
 }
 
 bem::AssemblyExecution Engine::assembly_execution() {
@@ -129,8 +172,13 @@ bem::AnalysisExecution Engine::analysis_execution() {
 
 bem::AssemblyResult Engine::assemble(const bem::BemModel& model,
                                      const bem::AssemblyOptions& options) {
-  refresh_cache_fingerprint(model, options);
-  bem::AssemblyResult result = bem::assemble(model, options, assembly_execution());
+  std::optional<std::uint64_t> fingerprint;
+  if (cache_) fingerprint = physics_fingerprint(model.soil(), options);
+  bem::AssemblyResult result;
+  {
+    const AssemblyGate gate(*this, fingerprint);
+    result = bem::assemble(model, options, assembly_execution());
+  }
   // The matrix's store is created inside this call, so its cumulative
   // counters are exactly this assembly's delta — fold them in like the
   // analyze/factor paths do.
@@ -162,42 +210,16 @@ std::vector<double> Engine::solve(const la::SymMatrix& matrix, std::span<const d
 bem::AnalysisResult Engine::analyze(const bem::BemModel& model,
                                     const bem::AnalysisOptions& options,
                                     PhaseReport* run_report) {
-  refresh_cache_fingerprint(model, options.assembly);
-  PhaseReport run;
-  bem::AnalysisResult result = bem::analyze(model, options, analysis_execution(), &run);
-  // Into the per-run report first, so run_report really is "this run's view
-  // of the same numbers" — factorizations included, and only on success.
-  if (config_.solver == bem::SolverKind::kCholesky) {
-    run.add_counter(kFactorizationsCounter, 1.0);
-  }
-  add_tile_counters(run, result.matrix_tiles);
-  add_tile_counters(run, result.solve_stats.factor_tiles);
-  report_.merge(run);
-  if (run_report != nullptr) run_report->merge(run);
+  // Borrowed submit: take() below blocks until the run is terminal, so the
+  // caller's model provably outlives it and no copy is needed.
+  RunFuture future = scheduler().submit_borrowed(model, options, {});
+  bem::AnalysisResult result = future.take();
+  if (run_report != nullptr) run_report->merge(future.report());
   return result;
 }
 
 FactoredSystem Engine::factor(const bem::BemModel& model, const bem::AnalysisOptions& options) {
-  refresh_cache_fingerprint(model, options.assembly);
-  WallTimer wall;
-  CpuTimer cpu;
-  const bem::CongruenceCacheStats cache_before = cache_stats();
-  bem::AssemblyResult system =
-      bem::assemble(model, options.assembly, assembly_execution());
-  report_.add(Phase::kMatrixGeneration, wall.seconds(), cpu.seconds());
-  add_cache_counters(system.cache_stats.delta_since(cache_before));
-
-  wall.reset();
-  cpu.reset();
-  la::Cholesky factor(system.matrix, {.block = config_.cholesky_block, .pool = pool_});
-  report_.add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
-  report_.add_counter(kFactorizationsCounter, 1.0);
-  // Matrix-store counters cover assembly plus the factor copy-in; the
-  // factor store keeps paging for the handle's lifetime and is counted at
-  // this snapshot (its substitutions re-read tiles, not the matrix).
-  add_tile_counters(report_, system.matrix.tile_stats());
-  add_tile_counters(report_, factor.tile_stats());
-  return FactoredSystem(std::move(factor), std::move(system.rhs), pool_, &report_);
+  return scheduler().submit_factor_borrowed(model, options, {}).take();
 }
 
 }  // namespace ebem::engine

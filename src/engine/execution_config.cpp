@@ -24,9 +24,8 @@ void ExecutionConfig::validate() const {
   EBEM_EXPECT(cache_max_entries >= 1, "ExecutionConfig: cache_max_entries must be at least 1");
   EBEM_EXPECT(cg_tolerance > 0.0, "ExecutionConfig: cg_tolerance must be positive");
   EBEM_EXPECT(cholesky_block >= 1, "ExecutionConfig: cholesky_block must be at least 1");
-  EBEM_EXPECT(storage.tile_size >= 1, "ExecutionConfig: storage.tile_size must be at least 1");
-  EBEM_EXPECT(storage.residency_budget_bytes == 0 || !storage.spill_dir.empty(),
-              "ExecutionConfig: a residency budget needs a non-empty storage.spill_dir");
+  la::validate_storage_config(storage, "ExecutionConfig");
+  EBEM_EXPECT(pipeline_width >= 1, "ExecutionConfig: pipeline_width must be at least 1");
 }
 
 }  // namespace ebem::engine

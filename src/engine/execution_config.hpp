@@ -38,6 +38,15 @@ struct ExecutionConfig {
   par::Schedule schedule = par::Schedule::dynamic(1);
   bem::ParallelLoop loop = bem::ParallelLoop::kOuter;
   bem::Backend backend = bem::Backend::kThreadPool;
+  /// Stage executors of the engine's pipelining scheduler — the number of
+  /// submitted runs whose stages (assemble / factor / solve) may be in
+  /// flight at once. Runs do not own threads: a fixed set of executors pops
+  /// ready stages off one queue, so 2 is enough to overlap candidate k+1's
+  /// assembly with candidate k's factorization/solve on the shared pool
+  /// (the ready queue prefers finishing older runs over starting new ones,
+  /// which also bounds how many assembled matrices are alive at once).
+  /// Must be >= 1; 1 serializes submitted runs in submission order.
+  std::size_t pipeline_width = 2;
 
   // --- congruence cache --------------------------------------------------
   /// Keep one warm congruence cache across every assembly the Engine runs:

@@ -8,14 +8,23 @@
 // every run legitimately shares the Engine's warm congruence cache, and the
 // Study tracks the per-run cache delta — the number candidate k actually
 // gained from candidates 1..k-1.
+//
+// Independent models should be submit()ted rather than analyzed one by one:
+// the engine's scheduler pipelines their assemble/factor/solve stages on
+// the shared pool, and each RunFuture carries its own result, PhaseReport
+// and exact cache delta (cad::search_design submits its whole ladder this
+// way and consumes the futures in order).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 
 #include "src/bem/analysis.hpp"
 #include "src/bem/congruence_cache.hpp"
 #include "src/engine/engine.hpp"
 #include "src/engine/factored_system.hpp"
+#include "src/engine/scheduler.hpp"
 
 namespace ebem::engine {
 
@@ -24,10 +33,16 @@ class Study {
   /// The engine is borrowed and must outlive the study.
   explicit Study(Engine& engine, bem::AnalysisOptions options = {});
 
+  /// Submit one model for analysis under the study's physics; returns
+  /// immediately. Concurrent submits pipeline on the engine's scheduler and
+  /// share the warm cache; the future's cache_delta() is this run's exact
+  /// hit/miss tally.
+  [[nodiscard]] RunFuture submit(bem::BemModel model, const SubmitOptions& overrides = {});
+
   /// Analyze one model under the study's physics, against the engine's warm
-  /// resources. Safe to call with differently meshed / sized models.
-  /// `run_report` receives this run's phase timings and counters on top of
-  /// the engine's cumulative report.
+  /// resources — the blocking submit+get shim. Safe to call with
+  /// differently meshed / sized models. `run_report` receives this run's
+  /// phase timings and counters on top of the engine's cumulative report.
   [[nodiscard]] bem::AnalysisResult analyze(const bem::BemModel& model,
                                             PhaseReport* run_report = nullptr);
 
@@ -37,22 +52,27 @@ class Study {
   [[nodiscard]] Engine& engine() const { return *engine_; }
   [[nodiscard]] const bem::AnalysisOptions& options() const { return options_; }
 
-  /// Number of analyze()/factor() runs so far.
-  [[nodiscard]] std::size_t runs() const { return runs_; }
+  /// Number of submit()/analyze()/factor() runs so far (submitted runs
+  /// count at submission).
+  [[nodiscard]] std::size_t runs() const { return runs_.load(std::memory_order_relaxed); }
 
-  /// Congruence-cache counters of the most recent run only (hits a run took
-  /// from the warm cache, misses it had to integrate). Zeros before the
-  /// first run or when the engine's cache is disabled.
-  [[nodiscard]] const bem::CongruenceCacheStats& last_cache_delta() const {
+  /// Congruence-cache counters of the most recently *completed* blocking
+  /// run (hits a run took from the warm cache, misses it had to integrate).
+  /// Zeros before the first run or when the engine's cache is disabled.
+  /// Pipelined submits don't update this — each future carries its own
+  /// delta, which is the only well-defined "per run" under concurrency.
+  [[nodiscard]] bem::CongruenceCacheStats last_cache_delta() const {
+    const std::scoped_lock lock(delta_mutex_);
     return last_cache_delta_;
   }
 
  private:
-  void record_delta(const bem::CongruenceCacheStats& before);
+  void record_delta(const bem::CongruenceCacheStats& delta);
 
   Engine* engine_;
   bem::AnalysisOptions options_;
-  std::size_t runs_ = 0;
+  std::atomic<std::size_t> runs_{0};
+  mutable std::mutex delta_mutex_;
   bem::CongruenceCacheStats last_cache_delta_{};
 };
 

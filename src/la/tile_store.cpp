@@ -15,6 +15,13 @@
 
 namespace ebem::la {
 
+void validate_storage_config(const StorageConfig& config, const char* context) {
+  EBEM_EXPECT(config.tile_size >= 1,
+              std::string(context) + ": storage.tile_size must be at least 1");
+  EBEM_EXPECT(config.residency_budget_bytes == 0 || !config.spill_dir.empty(),
+              std::string(context) + ": a residency budget needs a non-empty storage.spill_dir");
+}
+
 TileLayout::TileLayout(std::size_t n, std::size_t tile_size)
     : n_(n), tile_(std::max<std::size_t>(1, std::min(tile_size, std::max<std::size_t>(1, n)))),
       tile_rows_(n == 0 ? 0 : (n + tile_ - 1) / tile_) {}
@@ -83,7 +90,11 @@ struct SpillTileStore::Pager {
     /// new one) is in flight with the mutex released; the slot must not be
     /// touched or evicted until it clears.
     bool busy = false;
-    std::uint64_t last_use = 0;
+    /// Intrusive LRU links (slot ids): every slot sits on one list ordered
+    /// stale -> fresh, pinned or not, so recency is a position, not a
+    /// timestamp.
+    std::size_t lru_prev = kNoTile;
+    std::size_t lru_next = kNoTile;
   };
 
   std::mutex mutex;
@@ -100,8 +111,51 @@ struct SpillTileStore::Pager {
   /// Tiles with valid content in the scratch file; everything else is a
   /// logical zero on first touch.
   std::vector<bool> on_disk;
-  std::uint64_t clock = 0;
+  /// LRU list bounds: head is the stalest slot (first eviction candidate),
+  /// tail the freshest. A fault walks from the head past pinned/busy slots
+  /// only — O(pinned + in-flight), never O(resident slots) like the
+  /// timestamp scan this replaced (ROADMAP follow-up from the tiled-storage
+  /// PR: thousands of resident tiles were fine, millions were not).
+  std::size_t lru_head = kNoTile;
+  std::size_t lru_tail = kNoTile;
   TileStoreStats stats;
+
+  void lru_unlink(std::size_t id) {
+    Slot& slot = slots[id];
+    if (slot.lru_prev != kNoTile) {
+      slots[slot.lru_prev].lru_next = slot.lru_next;
+    } else {
+      lru_head = slot.lru_next;
+    }
+    if (slot.lru_next != kNoTile) {
+      slots[slot.lru_next].lru_prev = slot.lru_prev;
+    } else {
+      lru_tail = slot.lru_prev;
+    }
+    slot.lru_prev = kNoTile;
+    slot.lru_next = kNoTile;
+  }
+
+  void lru_push_back(std::size_t id) {
+    Slot& slot = slots[id];
+    slot.lru_prev = lru_tail;
+    slot.lru_next = kNoTile;
+    if (lru_tail != kNoTile) {
+      slots[lru_tail].lru_next = id;
+    } else {
+      lru_head = id;
+    }
+    lru_tail = id;
+  }
+
+  /// Mark `id` most recently used — exactly where the old scheme bumped its
+  /// timestamp (checkout hits and completed faults), so the list order *is*
+  /// the timestamp order and eviction choices (hence all pager stats) are
+  /// identical.
+  void lru_touch(std::size_t id) {
+    lru_unlink(id);
+    lru_push_back(id);
+  }
 };
 
 SpillTileStore::SpillTileStore(const TileLayout& layout, const StorageConfig& config)
@@ -159,19 +213,22 @@ TileGuard SpillTileStore::checkout_index(std::size_t tile_index, TileAccess acce
         continue;
       }
       slot.pins += 1;
-      slot.last_use = ++p.clock;
+      p.lru_touch(it->second);
       // The payload pointer stays valid while pinned: pinned slots are
       // never evicted, and growth never moves existing Slots (deque).
       return {this, tile_index, slot.data.data(), access};
     }
 
-    // Fault: reuse an empty slot below capacity, else evict the LRU tile
-    // that is neither pinned nor mid-IO.
+    // Fault: at capacity, evict the stalest tile that is neither pinned nor
+    // mid-IO — the walk from the list head skips only pinned/busy slots, so
+    // victim selection is O(pins in flight), not O(resident slots).
     std::size_t id = kNoTile;
     if (p.slots.size() >= max_resident_) {
-      for (std::size_t s = 0; s < p.slots.size(); ++s) {
-        if (p.slots[s].pins != 0 || p.slots[s].busy) continue;
-        if (id == kNoTile || p.slots[s].last_use < p.slots[id].last_use) id = s;
+      for (std::size_t s = p.lru_head; s != kNoTile; s = p.slots[s].lru_next) {
+        if (p.slots[s].pins == 0 && !p.slots[s].busy) {
+          id = s;
+          break;
+        }
       }
     }
     if (id == kNoTile) {
@@ -180,6 +237,7 @@ TileGuard SpillTileStore::checkout_index(std::size_t tile_index, TileAccess acce
       // records it).
       p.slots.emplace_back();
       id = p.slots.size() - 1;
+      p.lru_push_back(id);
       p.stats.resident_bytes = p.slots.size() * layout().tile_bytes();
       p.stats.peak_resident_bytes =
           std::max(p.stats.peak_resident_bytes, p.stats.resident_bytes);
@@ -248,7 +306,7 @@ TileGuard SpillTileStore::checkout_index(std::size_t tile_index, TileAccess acce
     }
     slot.dirty = false;
     slot.pins = 1;
-    slot.last_use = ++p.clock;
+    p.lru_touch(id);
     p.cv.notify_all();
     return {this, tile_index, slot.data.data(), access};
   }
@@ -273,6 +331,8 @@ void SpillTileStore::set_zero() {
   }
   p.slots.clear();
   p.resident.clear();
+  p.lru_head = kNoTile;
+  p.lru_tail = kNoTile;
   // Everything on disk becomes stale; first touch re-materializes zeros.
   std::fill(p.on_disk.begin(), p.on_disk.end(), false);
   p.stats.resident_bytes = 0;

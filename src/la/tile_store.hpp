@@ -49,6 +49,12 @@ struct StorageConfig {
   friend bool operator==(const StorageConfig&, const StorageConfig&) = default;
 };
 
+/// Validate one storage policy; throws ebem::InvalidArgument with messages
+/// prefixed by `context` (e.g. "ExecutionConfig"). The single source of the
+/// storage invariants, shared by the session-level config validator and the
+/// engine's per-run submit overrides so the two paths cannot drift.
+void validate_storage_config(const StorageConfig& config, const char* context);
+
 /// Tile geometry of an n x n symmetric matrix: the lower triangle is covered
 /// by tiles (I, J) with I >= J; tile (I, J) holds rows [I*t, min((I+1)*t, n))
 /// by columns [J*t, ...) as a row-major t x t block (edge tiles are padded,
@@ -214,7 +220,10 @@ class InMemoryTileStore final : public TileStore {
 /// ceil(residency_budget_bytes / tile_bytes) tiles (>= 1) are resident;
 /// checking out a non-resident tile evicts the least-recently-used unpinned
 /// one (writing it to the file if dirty) and reads the requested tile back
-/// (or zero-fills it on first touch). The disk IO itself runs *outside* the
+/// (or zero-fills it on first touch). Victim selection is O(1) amortized:
+/// resident slots sit on an intrusive recency list and a fault takes the
+/// list head, walking past only pinned or mid-IO slots (bounded by the
+/// worker count, never by the resident-tile count). The disk IO itself runs *outside* the
 /// pager mutex — the faulting slot is marked busy and concurrent checkouts
 /// of other tiles proceed; only checkouts of a tile whose slot is in flight
 /// wait. When every resident tile is pinned the store grows transiently

@@ -22,6 +22,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& body) {
+  // One region at a time: a second caller parks here until the current
+  // region's join completes, keeping body_/generation_/remaining_ single-use.
+  const std::scoped_lock region(region_mutex_);
   {
     std::scoped_lock lock(mutex_);
     body_ = &body;

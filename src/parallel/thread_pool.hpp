@@ -4,6 +4,14 @@
 // the same callable with its thread id, mirroring an OpenMP parallel region.
 // Workers persist across regions to avoid thread create/join overhead in
 // repeated assembly benchmarks.
+//
+// run() is safe to call from several threads at once: concurrent regions are
+// serialized in arrival order behind an internal mutex, never interleaved.
+// This is what lets the engine::Scheduler's stage executors share one pool —
+// while executor A's region (say, candidate k's trailing update) occupies
+// the workers, executor B runs the serial parts of its own stage and queues
+// its next region; regions themselves never overlap, so every parallel_for
+// keeps its single-region semantics (and its determinism guarantees).
 #pragma once
 
 #include <condition_variable>
@@ -29,7 +37,9 @@ class ThreadPool {
 
   /// Execute `body(thread_id)` on every thread (ids 0..num_threads-1) and
   /// wait for all of them. Exceptions thrown by workers are rethrown on the
-  /// calling thread (first one wins).
+  /// calling thread (first one wins). Thread-safe: concurrent callers take
+  /// turns — each region runs exclusively. Do not call run() from inside a
+  /// region body (the nested region would wait on itself).
   void run(const std::function<void(std::size_t)>& body);
 
  private:
@@ -38,6 +48,9 @@ class ThreadPool {
   std::size_t num_threads_;
   std::vector<std::thread> workers_;
 
+  /// Serializes whole regions across concurrent run() callers; held for the
+  /// full fork-to-join span so a region's workers only ever see one body.
+  std::mutex region_mutex_;
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;

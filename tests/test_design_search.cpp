@@ -162,6 +162,42 @@ TEST(DesignSearch, CacheStatisticsAccumulateAcrossCandidates) {
   EXPECT_GE(result.history.back().cache.entries, result.history.front().cache.entries);
 }
 
+TEST(DesignSearch, PipelinedLadderMatchesAcrossThreadCounts) {
+  // Acceptance: the ladder runs through submit() now, so per-candidate
+  // results must stay within 1e-12 of each other at every worker count —
+  // pipelined stage interleaving and scatter reordering may not move the
+  // physics.
+  DesignGoal goal;
+  goal.gpr = 100.0;
+  goal.max_resistance = 0.0;  // walk the whole ladder
+  goal.require_touch_safe = false;
+  goal.require_step_safe = false;
+  DesignSearchOptions options = site_30x20();
+  options.max_steps = 3;
+
+  std::vector<double> reference;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    engine::ExecutionConfig config;
+    config.num_threads = threads;
+    engine::Engine engine(config);
+    DesignSearchOptions threaded = options;
+    threaded.engine = &engine;
+    const DesignSearchResult result =
+        search_design(soil::LayeredSoil::uniform(0.02), goal, threaded);
+    ASSERT_EQ(result.history.size(), 3u) << threads;
+    if (reference.empty()) {
+      for (const DesignCandidate& candidate : result.history) {
+        reference.push_back(candidate.resistance);
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_NEAR(result.history[i].resistance, reference[i], 1e-12 * reference[i])
+          << "candidate " << i << " threads " << threads;
+    }
+  }
+}
+
 TEST(DesignSearch, ExternalEngineKeepsItsCacheWarmAcrossSearches) {
   DesignGoal goal;
   goal.gpr = 100.0;

@@ -158,6 +158,59 @@ TEST(SpillTileStore, GrowsPastTheBudgetInsteadOfDeadlockingWhenAllPinned) {
   EXPECT_GE(store.stats().peak_resident_bytes, 3 * layout.tile_bytes());
 }
 
+TEST(SpillTileStore, IntrusiveLruEvictsInRecencyOrder) {
+  // Pin down the O(1) recency-list pager against hand-computed LRU
+  // behaviour: victims must fall out in least-recently-*used* order (a
+  // checkout refreshes recency, releasing a pin does not add one), and the
+  // counters must account one eviction per displaced tile and one read-back
+  // per revisited spilled tile.
+  const TileLayout layout(32, 8);  // 4 tile rows -> 10 tiles
+  StorageConfig config;
+  config.tile_size = 8;
+  config.residency_budget_bytes = 2 * layout.tile_bytes();  // 2 resident slots
+  SpillTileStore store(layout, config);
+  const auto touch = [&](std::size_t ti, std::size_t tj) {
+    const TileGuard guard = store.checkout(ti, tj, TileAccess::kWrite);
+    guard.data()[0] += 1.0;
+  };
+
+  touch(0, 0);  // resident: {00}
+  touch(1, 0);  // resident: {00, 10}
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  touch(0, 0);              // refresh 00 -> LRU order is now [10, 00]
+  touch(1, 1);              // evicts 10, the stalest
+  TileStoreStats stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.spill_writes, 1u);  // 10 was dirty
+  EXPECT_EQ(stats.spill_reads, 0u);   // nothing revisited yet
+
+  touch(0, 0);  // still resident: no eviction, no IO
+  EXPECT_EQ(store.stats().evictions, 1u);
+
+  touch(1, 0);  // faults back in (read-back), evicting 11
+  stats = store.stats();
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.spill_reads, 1u);
+  EXPECT_EQ(stats.spill_writes, 2u);  // 11 written back on its way out
+
+  // A pinned tile is skipped even when it is the stalest: pin 00 (now LRU
+  // after 10's refresh), then fault two fresh tiles — both victims must be
+  // the unpinned tiles, never 00.
+  const TileGuard pinned = store.checkout(0, 0, TileAccess::kRead);
+  touch(2, 0);
+  touch(2, 1);
+  {
+    const TileGuard still_there = store.checkout(0, 0, TileAccess::kRead);
+    EXPECT_DOUBLE_EQ(still_there.data()[0], 3.0);  // touched three times
+  }
+  stats = store.stats();
+  EXPECT_EQ(stats.spill_reads, 1u);  // 00 was never evicted, so never re-read
+  // Content survived the whole shuffle.
+  const TileGuard check10 = store.checkout(1, 0, TileAccess::kRead);
+  EXPECT_DOUBLE_EQ(check10.data()[0], 2.0);
+}
+
 // ---------------------------------------------------------------------------
 // SymMatrix over the spill backend
 // ---------------------------------------------------------------------------
