@@ -99,9 +99,11 @@ int run_warm_ladder(std::size_t cells) {
         "{\"bench\":\"cache_warm\",\"candidate\":%zu,\"cells\":%zu,\"elements\":%zu,"
         "\"warm_hits\":%zu,\"warm_misses\":%zu,\"warm_hit_rate\":%.4f,"
         "\"cold_hit_rate\":%.4f,\"cache_entries\":%zu,"
-        "\"warm_seconds\":%.6f,\"cold_seconds\":%.6f}\n",
+        "\"warm_seconds\":%.6f,\"cold_seconds\":%.6f,"
+        "\"hw_concurrency\":%zu,\"pool_threads\":%zu}\n",
         candidate, c, model.element_count(), warm.hits, warm.misses, warm.hit_rate(),
-        cold_stats.hit_rate(), engine.cache_stats().entries, warm_seconds, cold_seconds);
+        cold_stats.hit_rate(), engine.cache_stats().entries, warm_seconds, cold_seconds,
+        par::hardware_threads(), engine.num_threads());
   }
   if (!warm_beats_cold) {
     std::fprintf(stderr, "bench_cache --warm: a warm candidate did not beat its cold-start "
@@ -203,11 +205,13 @@ int main(int argc, char** argv) {
           "\"threads\":%zu,\"hits\":%zu,\"misses\":%zu,\"entries\":%zu,"
           "\"hit_rate\":%.4f,\"seconds_off\":%.6f,\"seconds_on\":%.6f,"
           "\"speedup\":%.3f,\"max_rel_diff\":%.3e,\"parity_ok\":%s,"
-          "\"matrix_bytes_resident\":%zu,\"peak_rss_kb\":%zu}\n",
+          "\"matrix_bytes_resident\":%zu,\"hw_concurrency\":%zu,\"pool_threads\":%zu,"
+          "\"peak_rss_kb\":%zu}\n",
           grid.name, m, on.element_pairs, threads, on.cache_stats.hits, on.cache_stats.misses,
           on.cache_stats.entries, on.cache_stats.hit_rate(), seconds_off, seconds_on,
           seconds_off / seconds_on, diff, ok ? "true" : "false",
-          on.matrix.tile_stats().resident_bytes, peak_rss_bytes() / 1024);
+          on.matrix.tile_stats().resident_bytes, par::hardware_threads(), threads,
+          peak_rss_bytes() / 1024);
     }
   }
 

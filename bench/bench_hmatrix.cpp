@@ -1,0 +1,226 @@
+// H-matrix compression bench: full analyses with the ACA-compressed
+// far-field storage backend against the dense in-memory reference, swept
+// over element count x block tolerance. One JSON line per case: the
+// compression ratio (stored vs dense bytes), the element-pair bill split
+// (near / sampled / skipped — the O(M^2) work the far field removed), rank
+// statistics, end-to-end safety-quantity parity (post::assess_safety
+// touch/step voltages and the equivalent resistance) and peak RSS.
+//
+// Two grid families, because compressibility is a geometry property under
+// the in-place DoF order (tile rows are contiguous DoF slabs):
+//  * square grids — slab clusters span the full grid width, so far blocks
+//    carry high numerical rank and the profit gate keeps most of them
+//    dense: the bench shows parity and the honest "refuses to compress"
+//    economics;
+//  * a long grid (8 x long_cells, a trench/pipeline-style layout) — slab
+//    clusters are compact, the far field is genuinely low rank, and the
+//    backend breaks the dense wall: this case carries the --check
+//    compression gates.
+//
+// Usage: bench_hmatrix [cells...] [--long N] [--check]
+//   cells...  square grid cells per side, each swept over every epsilon
+//             (default 12 24)
+//   --long N  cells along the long grid's axis (default 260 -> 4428
+//             elements, 2349 DoFs; 0 skips the long grid)
+//   --check   CI gate: exit nonzero unless every case
+//              * matches the dense safety quantities to <= epsilon relative,
+//             and every >= 2000-element epsilon=1e-8 case additionally
+//              * stores <= 40% of the dense matrix bytes,
+//              * integrates <= 50% of the exact element pairs, and
+//              * shows the compression counters on the engine PhaseReport.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/common/phase_report.hpp"
+#include "src/common/resource_usage.hpp"
+#include "src/common/timer.hpp"
+#include "src/engine/counters.hpp"
+#include "src/engine/engine.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/post/safety.hpp"
+
+namespace {
+
+using namespace ebem;
+
+double rel_diff(double value, double reference) {
+  return std::abs(value - reference) / (std::abs(reference) + 1e-300);
+}
+
+/// The engineering answers a compressed analysis must preserve.
+struct SafetyQuantities {
+  double equivalent_resistance = 0.0;
+  double max_touch_voltage = 0.0;
+  double max_step_voltage = 0.0;
+};
+
+SafetyQuantities safety_quantities(const bem::BemModel& model, const bem::AnalysisResult& result,
+                                   double extent_x, double extent_y) {
+  const post::PotentialEvaluator evaluator(model, result.sigma);
+  const post::SafetyAssessment assessment = post::assess_safety(
+      evaluator, result.equivalent_resistance * result.total_current, 0.0, extent_x, 0.0,
+      extent_y, 20, 20, post::SafetyCriteria{});
+  return {result.equivalent_resistance, assessment.max_touch_voltage,
+          assessment.max_step_voltage};
+}
+
+bem::BemModel make_grid_model(std::size_t cells_x, std::size_t cells_y) {
+  geom::RectGridSpec spec;
+  spec.length_x = 5.0 * static_cast<double>(cells_x);
+  spec.length_y = 5.0 * static_cast<double>(cells_y);
+  spec.cells_x = cells_x;
+  spec.cells_y = cells_y;
+  return bem::BemModel(geom::Mesh::build(geom::make_rect_grid(spec)),
+                       soil::LayeredSoil::two_layer(0.005, 0.016, 1.0));
+}
+
+struct CaseOutcome {
+  bool parity_ok = true;
+  bool wall_ok = true;   ///< compression + counter gates (wall cases only)
+  bool wall_case = false;
+};
+
+CaseOutcome run_compressed_case(const char* name, const bem::BemModel& model, double extent_x,
+                                double extent_y, double epsilon,
+                                const SafetyQuantities& reference, double dense_seconds) {
+  engine::ExecutionConfig config;
+  config.num_threads = 0;  // hardware concurrency
+  config.storage.compression = {.epsilon = epsilon, .min_block = 64, .max_rank = 128};
+  engine::Engine engine(config);
+
+  WallTimer timer;
+  PhaseReport run_report;
+  const bem::AnalysisResult result = engine.analyze(model, {}, &run_report);
+  const double total_seconds = timer.seconds();
+  const SafetyQuantities quantities = safety_quantities(model, result, extent_x, extent_y);
+
+  const la::CompressionStats& stats = result.compression;
+  const bem::FarFieldStats& far = result.far_field;
+  const std::size_t element_pairs =
+      far.pairs_near + far.pairs_skipped;  // the dense pair bill of this grid
+  const double compression_ratio =
+      static_cast<double>(stats.stored_bytes) /
+      static_cast<double>(std::max<std::size_t>(1, stats.dense_bytes));
+  const double exact_pair_fraction =
+      static_cast<double>(far.pairs_near + far.pairs_sampled) /
+      static_cast<double>(std::max<std::size_t>(1, element_pairs));
+  const double parity_resistance =
+      rel_diff(quantities.equivalent_resistance, reference.equivalent_resistance);
+  const double parity_touch = rel_diff(quantities.max_touch_voltage, reference.max_touch_voltage);
+  const double parity_step = rel_diff(quantities.max_step_voltage, reference.max_step_voltage);
+
+  CaseOutcome outcome;
+  outcome.parity_ok = parity_resistance <= epsilon && parity_touch <= epsilon &&
+                      parity_step <= epsilon;
+  outcome.wall_case = model.element_count() >= 2000 && epsilon == 1e-8;
+  if (outcome.wall_case) {
+    // The session report must carry the compression evidence.
+    const bool counters_ok = run_report.counter(engine::kLowRankBlocksCounter) > 0 &&
+                             run_report.counter(engine::kPairsSkippedCounter) > 0 &&
+                             run_report.counter(engine::kCompressedStoredBytesCounter) > 0;
+    outcome.wall_ok = compression_ratio <= 0.40 && exact_pair_fraction <= 0.50 && counters_ok;
+  }
+
+  std::printf(
+      "{\"bench\":\"hmatrix\",\"case\":\"%s\",\"elements\":%zu,\"dofs\":%zu,"
+      "\"epsilon\":%.1e,\"low_rank_blocks\":%zu,\"low_rank_tiles\":%zu,"
+      "\"dense_tiles\":%zu,\"rank_mean\":%.2f,\"rank_max\":%zu,"
+      "\"stored_bytes\":%zu,\"dense_bytes\":%zu,\"compression_ratio\":%.4f,"
+      "\"pairs_near\":%zu,\"pairs_sampled\":%zu,\"pairs_skipped\":%zu,"
+      "\"exact_pair_fraction\":%.4f,\"assemble_seconds\":%.6f,"
+      "\"solve_seconds\":%.6f,\"total_seconds\":%.6f,\"dense_seconds\":%.6f,"
+      "\"parity_resistance\":%.3e,\"parity_touch\":%.3e,\"parity_step\":%.3e,"
+      "\"hw_concurrency\":%zu,\"pool_threads\":%zu,\"peak_rss_kb\":%zu}\n",
+      name, model.element_count(), result.sigma.size(), epsilon, stats.low_rank_blocks,
+      stats.low_rank_tiles, stats.dense_tiles, stats.mean_rank(), stats.max_rank,
+      stats.stored_bytes, stats.dense_bytes, compression_ratio, far.pairs_near,
+      far.pairs_sampled, far.pairs_skipped, exact_pair_fraction,
+      run_report.wall_seconds(Phase::kMatrixGeneration),
+      run_report.wall_seconds(Phase::kLinearSolve), total_seconds, dense_seconds,
+      parity_resistance, parity_touch, parity_step, par::hardware_threads(),
+      engine.num_threads(), peak_rss_bytes() / 1024);
+  return outcome;
+}
+
+/// Dense reference + both epsilons for one grid; folds gate outcomes into
+/// the flags.
+void run_grid(const char* name, std::size_t cells_x, std::size_t cells_y, bool& parity_ok,
+              bool& wall_ok, bool& wall_seen) {
+  const bem::BemModel model = make_grid_model(cells_x, cells_y);
+  const double extent_x = 5.0 * static_cast<double>(cells_x);
+  const double extent_y = 5.0 * static_cast<double>(cells_y);
+
+  engine::ExecutionConfig dense_config;
+  dense_config.num_threads = 0;
+  engine::Engine dense_engine(dense_config);
+  WallTimer dense_timer;
+  const bem::AnalysisResult dense = dense_engine.analyze(model);
+  const double dense_seconds = dense_timer.seconds();
+  const SafetyQuantities reference = safety_quantities(model, dense, extent_x, extent_y);
+
+  for (const double epsilon : {1e-6, 1e-8}) {
+    const CaseOutcome outcome = run_compressed_case(name, model, extent_x, extent_y, epsilon,
+                                                    reference, dense_seconds);
+    parity_ok = parity_ok && outcome.parity_ok;
+    if (outcome.wall_case) {
+      wall_seen = true;
+      wall_ok = wall_ok && outcome.wall_ok;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> cells_list;
+  std::size_t long_cells = 260;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--long") == 0 && i + 1 < argc) {
+      long_cells = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      cells_list.push_back(std::strtoul(argv[i], nullptr, 10));
+    }
+  }
+  if (cells_list.empty()) cells_list = {12, 24};
+  for (const std::size_t cells : cells_list) {
+    if (cells < 2) {
+      std::fprintf(stderr, "usage: bench_hmatrix [cells >= 2 ...] [--long N] [--check]\n");
+      return 1;
+    }
+  }
+
+  bool parity_ok = true;
+  bool wall_ok = true;
+  bool wall_seen = false;
+  for (const std::size_t cells : cells_list) {
+    run_grid("square", cells, cells, parity_ok, wall_ok, wall_seen);
+  }
+  if (long_cells >= 2) {
+    run_grid("long", 8, long_cells, parity_ok, wall_ok, wall_seen);
+  }
+
+  if (check) {
+    bool ok = true;
+    if (!parity_ok) {
+      std::fprintf(stderr, "bench_hmatrix: a compressed case broke safety-quantity parity\n");
+      ok = false;
+    }
+    if (wall_seen && !wall_ok) {
+      std::fprintf(stderr,
+                   "bench_hmatrix: a >= 2000-element epsilon=1e-8 case missed the compression "
+                   "gates (<= 40%% stored bytes, <= 50%% exact pairs, counters reported)\n");
+      ok = false;
+    }
+    if (!ok) return 1;
+  }
+  return 0;
+}

@@ -35,6 +35,7 @@
 #include "src/engine/study.hpp"
 #include "src/geom/grid_builder.hpp"
 #include "src/geom/mesh.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace {
 
@@ -141,11 +142,13 @@ bool run_config(const std::vector<bem::BemModel>& models, std::size_t threads, b
   std::printf(
       "{\"bench\":\"pipeline\",\"candidates\":%zu,\"elements_max\":%zu,\"threads\":%zu,"
       "\"cache\":\"%s\",\"sequential_seconds\":%.6f,\"pipelined_seconds\":%.6f,"
-      "\"speedup\":%.3f,\"max_rel_diff\":%.3e,\"bitwise\":%s,\"peak_rss_kb\":%zu}\n",
+      "\"speedup\":%.3f,\"max_rel_diff\":%.3e,\"bitwise\":%s,"
+      "\"hw_concurrency\":%zu,\"pool_threads\":%zu,\"peak_rss_kb\":%zu}\n",
       models.size(), models.back().element_count(), threads, cache ? "on" : "off",
       sequential.seconds, pipelined.seconds,
       pipelined.seconds > 0.0 ? sequential.seconds / pipelined.seconds : 0.0, worst,
-      bitwise ? "true" : "false", peak_rss_bytes() / 1024);
+      bitwise ? "true" : "false", par::hardware_threads(), config.resolved_threads(),
+      peak_rss_bytes() / 1024);
 
   if (check && !ok) {
     std::fprintf(stderr,

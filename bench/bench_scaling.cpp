@@ -42,9 +42,10 @@ void emit(const char* phase, std::size_t threads, std::size_t elements, std::siz
   std::printf(
       "{\"bench\":\"scaling\",\"phase\":\"%s\",\"threads\":%zu,\"elements\":%zu,"
       "\"dofs\":%zu,\"seconds\":%.6f,\"speedup\":%.3f,"
-      "\"matrix_bytes_resident\":%zu,\"peak_rss_kb\":%zu}\n",
+      "\"matrix_bytes_resident\":%zu,\"hw_concurrency\":%zu,\"pool_threads\":%zu,"
+      "\"peak_rss_kb\":%zu}\n",
       phase, threads, elements, dofs, seconds, baseline_seconds / seconds,
-      matrix_bytes_resident, peak_rss_bytes() / 1024);
+      matrix_bytes_resident, par::hardware_threads(), threads, peak_rss_bytes() / 1024);
 }
 
 double best_of(int repeats, const auto& run) {

@@ -34,6 +34,7 @@
 #include "src/geom/mesh.hpp"
 #include "src/la/cholesky.hpp"
 #include "src/la/tile_store.hpp"
+#include "src/parallel/thread_pool.hpp"
 #include "tests/support/random_spd.hpp"
 
 namespace {
@@ -102,11 +103,13 @@ CaseResult run_case(const char* name, const la::SymMatrix& matrix,
       "\"matrix_peak_resident\":%zu,\"factor_peak_resident\":%zu,"
       "\"evictions\":%zu,\"spill_writes\":%zu,\"spill_reads\":%zu,"
       "\"assemble_seconds\":%.6f,\"factor_seconds\":%.6f,\"solve_seconds\":%.6f,"
-      "\"max_rel_diff\":%.3e,\"peak_rss_kb\":%zu}\n",
+      "\"max_rel_diff\":%.3e,\"hw_concurrency\":%zu,\"pool_threads\":%zu,"
+      "\"peak_rss_kb\":%zu}\n",
       name, matrix.size(), tile, storage.residency_budget_bytes, matrix_bytes,
       ms.peak_resident_bytes, fs.peak_resident_bytes, ms.evictions + fs.evictions,
       ms.spill_writes + fs.spill_writes, ms.spill_reads + fs.spill_reads, assemble_seconds,
-      factor_seconds, solve_seconds, diff, peak_rss_bytes() / 1024);
+      factor_seconds, solve_seconds, diff, par::hardware_threads(), std::size_t{1},
+      peak_rss_bytes() / 1024);
   return result;
 }
 
@@ -205,10 +208,11 @@ int main(int argc, char** argv) {
         "{\"bench\":\"tiles\",\"case\":\"engine_report\",\"n\":%zu,\"tile\":32,"
         "\"residency_budget_bytes\":%zu,\"report_evictions\":%.0f,"
         "\"report_spill_writes\":%.0f,\"report_spill_reads\":%.0f,"
-        "\"max_rel_diff\":%.3e,\"peak_rss_kb\":%zu}\n",
+        "\"max_rel_diff\":%.3e,\"hw_concurrency\":%zu,\"pool_threads\":%zu,"
+        "\"peak_rss_kb\":%zu}\n",
         ref.matrix.size(), config.storage.residency_budget_bytes, evictions,
         engine.report().counter(engine::kTileSpillWritesCounter), read_backs, diff,
-        peak_rss_bytes() / 1024);
+        par::hardware_threads(), engine.num_threads(), peak_rss_bytes() / 1024);
   }
 
   if (check && !ok) {

@@ -13,6 +13,8 @@ AnalysisResult finish_analysis(AssemblyResult system, std::vector<double> sigma_
   // Snapshot after the solve: the matrix store keeps paging through the
   // factor copy-in and the residual matvec, not just through assembly.
   result.matrix_tiles = system.matrix.tile_stats();
+  result.compression = system.compression;
+  result.far_field = system.far_field;
   // I_Gamma = integral of sigma over the electrodes = nu . sigma (eq. 2.2),
   // evaluated at the normalized GPR and rescaled.
   const double normalized_current = la::dot(system.rhs, sigma_hat);

@@ -49,6 +49,8 @@ struct AnalysisResult {
   std::vector<double> column_costs;    ///< forwarded from assembly, if measured
   CongruenceCacheStats cache_stats;    ///< forwarded from assembly (zeros if disabled)
   la::TileStoreStats matrix_tiles;     ///< matrix-store pager counters from assembly
+  la::CompressionStats compression;    ///< far-field compression outcome (zeros if disabled)
+  FarFieldStats far_field;             ///< near/sampled/skipped pair split (zeros if disabled)
 };
 
 /// Run the analysis under an explicit execution plan. `report`, when

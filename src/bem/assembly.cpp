@@ -6,8 +6,10 @@
 #include <mutex>
 #include <optional>
 
+#include "src/bem/far_field.hpp"
 #include "src/common/error.hpp"
 #include "src/common/timer.hpp"
+#include "src/la/compressed_tile_store.hpp"
 #include "src/parallel/openmp_backend.hpp"
 #include "src/soil/kernel_factory.hpp"
 #include "src/parallel/parallel_for.hpp"
@@ -154,18 +156,79 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
 
   const bool sequential = execution.num_threads == 1 && execution.pool == nullptr &&
                           !execution.measure_column_costs;
+
+  // Worker pool, hoisted ahead of the pair loop so the far-field builder can
+  // share it. The sequential path and the OpenMP backend own no pool.
+  std::optional<par::ThreadPool> owned_pool;
+  par::ThreadPool* pool = execution.pool;
+  if (pool == nullptr && execution.backend == Backend::kThreadPool && !sequential) {
+    owned_pool.emplace(execution.num_threads);
+    pool = &*owned_pool;
+  }
+
+  // --- far-field compression ---------------------------------------------
+  // With compression enabled the matrix store is the low-rank backend:
+  // partition the tile square, build the admissible blocks by ACA (their
+  // entries are the *full* Galerkin sums over incident element pairs), then
+  // run the usual pair loop with two filters — pairs whose every entry lands
+  // in a covered tile are skipped outright (the O(M^2) win), and scatter
+  // drops the covered entries of partially covered pairs (already inside a
+  // factor; writing them would both double-count and hit read-only tiles).
+  la::CompressedTileStore* compressed = nullptr;
+  const la::TileLayout& layout = result.matrix.layout();
+  if (execution.storage.compression.enabled()) {
+    compressed = dynamic_cast<la::CompressedTileStore*>(&result.matrix.store());
+    EBEM_ENSURE(compressed != nullptr,
+                "compression-enabled storage must be backed by a CompressedTileStore");
+    const FarFieldPartition partition =
+        partition_far_field(model, basis, layout, execution.storage.compression);
+    par::ThreadPool* build_pool = execution.backend == Backend::kThreadPool ? pool : nullptr;
+    build_far_field(*compressed, model, basis, integrator, partition, build_pool,
+                    result.far_field);
+  }
+  const auto entry_is_far = [&](std::size_t j, std::size_t i) {
+    const std::size_t hi = std::max(i, j);
+    const std::size_t lo = std::min(i, j);
+    return compressed->tile_is_low_rank(layout.tile_of(hi), layout.tile_of(lo));
+  };
+  const std::size_t locals = model.local_dof_count(basis);
+  const auto pair_is_far = [&](std::size_t beta, std::size_t alpha) {
+    if (compressed == nullptr) return false;
+    for (std::size_t p = 0; p < locals; ++p) {
+      const std::size_t j = model.global_dof(basis, beta, p);
+      for (std::size_t q = 0; q < locals; ++q) {
+        if (!entry_is_far(j, model.global_dof(basis, alpha, q))) return false;
+      }
+    }
+    return true;
+  };
+  std::atomic<std::size_t> pairs_skipped{0};
+  const auto finalize_compression = [&] {
+    if (compressed == nullptr) return;
+    result.compression = compressed->compression_stats();
+    result.far_field.pairs_skipped = pairs_skipped.load(std::memory_order_relaxed);
+    result.far_field.pairs_near = result.element_pairs - result.far_field.pairs_skipped;
+  };
+
   if (sequential) {
     // Original sequential scheme: compute and assemble inside the loop.
     for (std::size_t beta = 0; beta < m; ++beta) {
       for (std::size_t alpha = beta; alpha < m; ++alpha) {
+        if (pair_is_far(beta, alpha)) {
+          pairs_skipped.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
         bool hit = false;
         const LocalMatrix local =
             integrator.element_pair(elements[beta], elements[alpha], cache, &hit);
         tally(hit);
-        scatter(model, basis, beta, alpha, local,
-                [&](std::size_t j, std::size_t i, double v) { result.matrix.add(j, i, v); });
+        scatter(model, basis, beta, alpha, local, [&](std::size_t j, std::size_t i, double v) {
+          if (compressed != nullptr && entry_is_far(j, i)) return;
+          result.matrix.add(j, i, v);
+        });
       }
     }
+    finalize_compression();
     finalize_stats();
     return result;
   }
@@ -177,21 +240,21 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
   // (measure_column_costs) stay bitwise identical to the sequential path.
   TileLockedMatrix striped(result.matrix);
   const auto fused_pair = [&](std::size_t beta, std::size_t alpha) {
+    if (pair_is_far(beta, alpha)) {
+      pairs_skipped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     bool hit = false;
     const LocalMatrix local =
         integrator.element_pair(elements[beta], elements[alpha], cache, &hit);
     tally(hit);
-    scatter(model, basis, beta, alpha, local,
-            [&](std::size_t j, std::size_t i, double v) { striped.add(j, i, v); });
+    scatter(model, basis, beta, alpha, local, [&](std::size_t j, std::size_t i, double v) {
+      if (compressed != nullptr && entry_is_far(j, i)) return;
+      striped.add(j, i, v);
+    });
   };
   if (execution.measure_column_costs) result.column_costs.assign(m, 0.0);
 
-  std::optional<par::ThreadPool> owned_pool;
-  par::ThreadPool* pool = execution.pool;
-  if (pool == nullptr && execution.backend == Backend::kThreadPool) {
-    owned_pool.emplace(execution.num_threads);
-    pool = &*owned_pool;
-  }
   const auto run_loop = [&](std::size_t count, const auto& body) {
     if (execution.backend == Backend::kOpenMp) {
       par::openmp_parallel_for(execution.num_threads, count, execution.schedule, body);
@@ -214,6 +277,7 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
       if (!result.column_costs.empty()) result.column_costs[beta] = timer.seconds();
     }
   }
+  finalize_compression();
   finalize_stats();
   return result;
 }

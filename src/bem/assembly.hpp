@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/bem/congruence_cache.hpp"
+#include "src/bem/far_field.hpp"
 #include "src/bem/integrator.hpp"
 #include "src/la/sym_matrix.hpp"
 #include "src/parallel/schedule.hpp"
@@ -108,6 +109,11 @@ struct AssemblyResult {
   /// Pager counters of the matrix's tile store over this assembly (zeros
   /// except resident-byte gauges for the in-memory backend).
   la::TileStoreStats matrix_tiles;
+  /// Low-rank far-field outcome when storage compression is enabled (all
+  /// zeros otherwise): the stored-vs-dense byte breakdown of the matrix and
+  /// the near/sampled/skipped split of the element-pair bill.
+  la::CompressionStats compression;
+  FarFieldStats far_field;
 };
 
 /// Generate the Galerkin system for the model under the given options and

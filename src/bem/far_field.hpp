@@ -1,0 +1,101 @@
+// Near/far partition of the Galerkin system and the ACA far-field builder —
+// what turns the compressed tile store into an H-matrix.
+//
+// Clusters are tile rows of the matrix layout: DoFs cannot be reordered
+// (the tile store addresses them in place), so a cluster is the set of
+// elements supporting a contiguous DoF range, with its axis-aligned
+// bounding box and longest member element. Two tile-row ranges are
+// *admissible* when their boxes pass the pair_signature separation
+// predicate — box distance at least kTransposeSeparationRatio times the
+// longest supported element — the same measured-decay gate that already
+// bounds the congruence cache's transposed replays; box distance
+// lower-bounds every crossing pair's midpoint separation, so admissibility
+// of the block implies the gate for each of its pairs.
+//
+// partition_far_field() recursively subdivides the lower-triangle tile
+// square into maximal admissible candidate blocks (near tiles fall out as
+// uncovered). build_far_field() then runs ACA on each candidate, sampling
+// matrix rows/columns through Integrator::element_pair_batch (one source
+// element against a cluster's elements per sample — the dense block is
+// never formed), installs the factors that converge and pay for
+// themselves, and splits the ones that do not. Assembly's pairwise loop
+// afterwards skips every pair whose entries all land in covered tiles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/bem/element.hpp"
+#include "src/bem/integrator.hpp"
+#include "src/geom/vec3.hpp"
+#include "src/la/compressed_tile_store.hpp"
+
+namespace ebem::par {
+class ThreadPool;
+}  // namespace ebem::par
+
+namespace ebem::bem {
+
+/// Pair-work accounting of one compressed assembly. The exact-integration
+/// bill is pairs_near + pairs_sampled; pairs_skipped is what compression
+/// removed from the O(M^2) loop entirely.
+struct FarFieldStats {
+  std::size_t pairs_near = 0;     ///< pairs routed through the near-field loop
+  std::size_t pairs_sampled = 0;  ///< element-pair evaluations spent on ACA samples
+  std::size_t pairs_skipped = 0;  ///< pairs never integrated (covered by factors)
+};
+
+/// Geometry of one tile-row cluster: every element supporting a DoF of the
+/// row, their merged bounding box and the longest among them.
+struct TileRowCluster {
+  geom::Vec3 box_min;
+  geom::Vec3 box_max;
+  double max_element_length = 0.0;
+  std::vector<std::size_t> elements;  ///< ascending element ids
+};
+
+/// Candidate far block: tile-row range (test side) x tile-column range
+/// (trial side), col_end <= row_begin (strictly below the diagonal).
+struct FarBlock {
+  std::size_t row_tile_begin = 0;
+  std::size_t row_tile_end = 0;
+  std::size_t col_tile_begin = 0;
+  std::size_t col_tile_end = 0;
+};
+
+struct FarFieldPartition {
+  std::vector<TileRowCluster> clusters;  ///< one per tile row
+  std::vector<FarBlock> candidates;      ///< admissible blocks, pre-ACA
+};
+
+/// Euclidean distance between two axis-aligned boxes (0 when they overlap).
+[[nodiscard]] double box_distance(const geom::Vec3& a_min, const geom::Vec3& a_max,
+                                  const geom::Vec3& b_min, const geom::Vec3& b_max);
+
+/// Cluster geometry of every tile row of `layout` (supports of its DoFs).
+[[nodiscard]] std::vector<TileRowCluster> build_tile_row_clusters(const BemModel& model,
+                                                                  BasisKind basis,
+                                                                  const la::TileLayout& layout);
+
+/// The admissibility gate over two merged cluster ranges, exposed for the
+/// property tests: box separation against the longest element on either
+/// side, through pair_signature's transpose_separated predicate.
+[[nodiscard]] bool clusters_admissible(const TileRowCluster& a, const TileRowCluster& b);
+
+/// Recursive block partition of the lower-triangle tile square: maximal
+/// admissible blocks with at least compression.min_block DoFs per side
+/// become candidates; everything else stays dense (near field).
+[[nodiscard]] FarFieldPartition partition_far_field(const BemModel& model, BasisKind basis,
+                                                    const la::TileLayout& layout,
+                                                    const la::CompressionConfig& compression);
+
+/// Run ACA over the candidates and install the accepted factors into
+/// `store`. Candidates that fail the rank budget are split and retried;
+/// blocks whose factors would not undercut their dense tiles stay dense.
+/// Parallel over blocks on `pool` (serial when null), deterministic either
+/// way. Accumulates pairs_sampled into `stats`.
+void build_far_field(la::CompressedTileStore& store, const BemModel& model, BasisKind basis,
+                     const Integrator& integrator, const FarFieldPartition& partition,
+                     par::ThreadPool* pool, FarFieldStats& stats);
+
+}  // namespace ebem::bem

@@ -1,6 +1,8 @@
 #include "src/bem/integrator.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "src/bem/congruence_cache.hpp"
 #include "src/bem/segment_integrals.hpp"
@@ -9,6 +11,64 @@
 #include "src/quad/gauss.hpp"
 
 namespace ebem::bem {
+
+namespace {
+
+/// One mirrored image of the source segment with its precomputed frame.
+struct TermFrame {
+  SegmentFrame frame;
+  double weight = 0.0;
+};
+
+/// Per-thread reusable image-frame workspace, keyed on the exact source
+/// geometry, kernel and layer pair. Building the frames is the per-pair
+/// setup cost of the analytic path (one make_segment_frame per image term);
+/// hoisting them into this thread_local buffer removes the churn from every
+/// element_pair call, and the key check turns consecutive evaluations
+/// against the same source — the batched entry point and every ACA
+/// row/column sample — into a single frame build per (source, field layer).
+struct FrameScratch {
+  std::vector<TermFrame> frames;
+  std::uint64_t kernel_epoch = 0;  ///< 0 never matches a live kernel
+  geom::Vec3 a, b;
+  double radius = -1.0;
+  std::size_t source_layer = static_cast<std::size_t>(-1);
+  std::size_t field_layer = static_cast<std::size_t>(-1);
+};
+
+const std::vector<TermFrame>& term_frames(const soil::ImageKernel& kernel,
+                                          const BemElement& source, std::size_t field_layer) {
+  thread_local FrameScratch scratch;
+  // Exact comparisons on purpose: any difference rebuilds, a stale hit is
+  // impossible (the kernel is identified by its process-unique epoch, not
+  // its address), and the fixed-source case the batch/sampling paths
+  // produce is the one that hits.
+  const bool hit = scratch.kernel_epoch == kernel.epoch() &&
+                   scratch.field_layer == field_layer &&
+                   scratch.source_layer == source.layer && scratch.radius == source.radius &&
+                   scratch.a.x == source.a.x && scratch.a.y == source.a.y &&
+                   scratch.a.z == source.a.z && scratch.b.x == source.b.x &&
+                   scratch.b.y == source.b.y && scratch.b.z == source.b.z;
+  if (hit) return scratch.frames;
+  scratch.frames.clear();
+  const auto& terms = kernel.terms(source.layer, field_layer);
+  scratch.frames.reserve(terms.size());
+  for (const soil::ImageTerm& term : terms) {
+    // Image of the straight source segment: same x/y, affine-mapped z.
+    const geom::Vec3 a{source.a.x, source.a.y, term.mirror * source.a.z + term.offset};
+    const geom::Vec3 b{source.b.x, source.b.y, term.mirror * source.b.z + term.offset};
+    scratch.frames.push_back({make_segment_frame(a, b, source.radius), term.weight});
+  }
+  scratch.kernel_epoch = kernel.epoch();
+  scratch.a = source.a;
+  scratch.b = source.b;
+  scratch.radius = source.radius;
+  scratch.source_layer = source.layer;
+  scratch.field_layer = field_layer;
+  return scratch.frames;
+}
+
+}  // namespace
 
 Integrator::Integrator(const soil::PointKernel& kernel, const IntegratorOptions& options)
     : kernel_(kernel),
@@ -27,12 +87,8 @@ std::array<double, 2> Integrator::inner_integrals(geom::Vec3 field_point,
   std::array<double, 2> result{0.0, 0.0};
 
   if (options_.inner == InnerIntegration::kAnalytic) {
-    const auto& terms = image_kernel_->terms(source.layer, field_layer);
-    for (const soil::ImageTerm& term : terms) {
-      // Image of the straight source segment: same x/y, affine-mapped z.
-      const geom::Vec3 a{source.a.x, source.a.y, term.mirror * source.a.z + term.offset};
-      const geom::Vec3 b{source.b.x, source.b.y, term.mirror * source.b.z + term.offset};
-      const SegmentPotentials s = segment_potentials(field_point, a, b, source.radius);
+    for (const TermFrame& term : term_frames(*image_kernel_, source, field_layer)) {
+      const SegmentPotentials s = segment_potentials(term.frame, field_point);
       if (options_.basis == BasisKind::kLinear) {
         result[0] += term.weight * shape_start_integral(s, source.length);
         result[1] += term.weight * shape_end_integral(s, source.length);
@@ -138,16 +194,15 @@ LocalMatrix Integrator::element_pair_analytic(const BemElement& field,
     chi[q] = field.a + t * (field.b - field.a);
   }
 
-  // One SoA sweep per image term: the mirrored segment frame is derived once
-  // per (source element, layer pair) term and evaluated against every outer
-  // Gauss point, instead of rebuilding each image for every field point.
+  // One SoA sweep per image term: the mirrored segment frames come from the
+  // per-thread workspace (built once per source and field layer, reused
+  // verbatim when the source repeats) and each is evaluated against every
+  // outer Gauss point, instead of rebuilding each image for every field
+  // point and every pair.
   const bool linear = options_.basis == BasisKind::kLinear;
-  for (const soil::ImageTerm& term : image_kernel_->terms(source.layer, field.layer)) {
-    const geom::Vec3 a{source.a.x, source.a.y, term.mirror * source.a.z + term.offset};
-    const geom::Vec3 b{source.b.x, source.b.y, term.mirror * source.b.z + term.offset};
-    const SegmentFrame frame = make_segment_frame(a, b, source.radius);
+  for (const TermFrame& term : term_frames(*image_kernel_, source, field.layer)) {
     for (std::size_t q = 0; q < points; ++q) {
-      const SegmentPotentials s = segment_potentials(frame, chi[q]);
+      const SegmentPotentials s = segment_potentials(term.frame, chi[q]);
       if (linear) {
         acc0[q] += term.weight * shape_start_integral(s, source.length);
         acc1[q] += term.weight * shape_end_integral(s, source.length);
@@ -195,6 +250,18 @@ LocalMatrix Integrator::element_pair(const BemElement& field, const BemElement& 
   block = element_pair(field, source);
   cache->insert(signature, block);
   return block;
+}
+
+void Integrator::element_pair_batch(const BemElement& source,
+                                    std::span<const BemElement* const> fields,
+                                    LocalMatrix* out) const {
+  // The batching win lives in term_frames(): with the source fixed, the
+  // image frames survive across fields (rebuilt only when the field layer
+  // changes), so each additional field costs just its outer sweep. The
+  // generic-quadrature paths have no per-source setup to share.
+  for (std::size_t k = 0; k < fields.size(); ++k) {
+    out[k] = element_pair(*fields[k], source);
+  }
 }
 
 std::array<double, 2> Integrator::potential_influence(geom::Vec3 x,

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 
 #include "src/bem/element.hpp"
 #include "src/soil/image_series.hpp"
@@ -79,6 +80,17 @@ class Integrator {
   [[nodiscard]] LocalMatrix element_pair(const BemElement& field, const BemElement& source,
                                          CongruenceCache* cache,
                                          bool* was_hit = nullptr) const;
+
+  /// Batched far-field entry point: Galerkin blocks of one fixed source
+  /// (trial) element against many field (test) elements, out[k] =
+  /// R^{fields[k], source}. Numerically identical to calling element_pair
+  /// per field; the point is the access pattern — with the source fixed,
+  /// the per-thread image-frame workspace (built once per source and field
+  /// layer) is reused across every field element, which is what makes ACA
+  /// row/column sampling cost O(fields) segment evaluations instead of
+  /// O(fields x image terms) frame constructions.
+  void element_pair_batch(const BemElement& source,
+                          std::span<const BemElement* const> fields, LocalMatrix* out) const;
 
   /// Potential influence at point x of source element alpha's local DoFs
   /// (paper eq. 4.3): V(x) = sum_i sigma_i * coefficient_i.

@@ -101,7 +101,7 @@ CanonicalPairSignature make_canonical_pair_signature(const BemElement& field,
   const geom::Vec3 source_mid = 0.5 * (source.a + source.b);
   const double separation = geom::distance(field_mid, source_mid);
   const double longest = std::max(field.length, source.length);
-  if (separation < kTransposeSeparationRatio * longest) return canonical;
+  if (!transpose_separated(separation, longest)) return canonical;
 
   // Both orientations are fully canonicalized and the smaller key wins.
   // This doubles the hashing work per well-separated lookup, but hashing is

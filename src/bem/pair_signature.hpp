@@ -70,6 +70,17 @@ struct PairSignatureHash {
 /// violating the 1e-12 cache-on/cache-off parity contract.
 inline constexpr double kTransposeSeparationRatio = 3.0;
 
+/// The measured-decay separation predicate behind that ratio: true when a
+/// separation distance is at least kTransposeSeparationRatio times the
+/// longest element length involved. Shared by the congruence cache's
+/// role-canonical gate (midpoint separation of one pair) and the far-field
+/// admissibility partition (bounding-box separation of two element
+/// clusters, which lower-bounds every crossing pair's midpoint separation),
+/// so the two gates cannot drift apart.
+[[nodiscard]] inline bool transpose_separated(double separation, double longest_element_length) {
+  return separation >= kTransposeSeparationRatio * longest_element_length;
+}
+
 /// Role-canonical signature: the lexicographically smaller of the (field,
 /// source) and (source, field) ordered signatures, so both orientations of a
 /// congruence class share one cache entry. `transposed` records whether the

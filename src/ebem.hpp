@@ -40,18 +40,43 @@
 //
 // Matrix storage (la/): the Galerkin matrix — the method's one O(N^2)
 // object — lives behind the pluggable la::TileStore interface as fixed-size
-// lower-triangle tiles with checkout/commit semantics. Two backends ship:
+// lower-triangle tiles with checkout/commit semantics. Three backends ship:
 // la::InMemoryTileStore (default; one contiguous arena, zero-copy tile
-// views) and la::SpillTileStore (file-backed LRU pager; an
+// views), la::SpillTileStore (file-backed LRU pager; an
 // ExecutionConfig::storage residency budget in bytes caps how much of the
 // matrix — and of its Cholesky factor — is resident, so systems beyond
 // single-node memory assemble, multiply and factor out of core, with
-// eviction/IO counters on the session PhaseReport). Every consumer walks
-// tiles: the fused assembly scatter locks per tile, the blocked Cholesky
-// uses panel = tile column, SymMatrix::multiply and PCG stream the
-// triangle tile by tile. A future H-matrix / low-rank backend slots in
-// behind the same checkout interface (see tile_store.hpp and ROADMAP.md).
+// eviction/IO counters on the session PhaseReport), and
+// la::CompressedTileStore (H-matrix; set ExecutionConfig::storage
+// .compression). Every consumer walks tiles: the fused assembly scatter
+// locks per tile, the blocked Cholesky uses panel = tile column,
+// SymMatrix::multiply and PCG stream the triangle tile by tile.
 // examples/out_of_core.cpp is the walkthrough.
+//
+// Compressed far-field storage (la/ + bem/): with
+// ExecutionConfig::storage.compression set, assembly partitions the tile
+// triangle by the bem::pair_signature separation gate — the same quantized
+// predicate the congruence cache trusts — and builds each well-separated
+// block as a low-rank U V^T pair by adaptive cross approximation
+// (la::adaptive_cross), sampling individual matrix rows/columns from the
+// bem::Integrator instead of ever materializing the dense block. The far
+// field's exact pair integrations are *skipped*, so both memory and the
+// O(M^2) pair bill shrink. Accuracy is a contract, not a hope:
+// CompressionConfig::epsilon bounds each block's Frobenius error, and end
+// to end the safety quantities (equivalent resistance, touch/step
+// voltages) match the dense backend to ~epsilon. Two honest caveats:
+// compressibility is a geometry property — under the in-place DoF order,
+// tile rows of a *square* grid are full-width slabs with high numerical
+// rank, and the profit gate (CompressionConfig::min_rank_budget) keeps
+// such blocks dense rather than paying ACA sampling for nothing, while
+// elongated trench/pipeline-style grids compress to a third of the dense
+// bytes — and ACA samples bypass the congruence cache, so on highly
+// congruent grids compression trades wall time for memory. Consumers are
+// oblivious: checkout decompresses tiles on the fly, and Cholesky
+// densifies via la::copy_tiles. Block/rank/byte/pair counters land on the
+// session PhaseReport; bench/bench_hmatrix.cpp sweeps element count x
+// epsilon and gates the >= 2000-element case in CI (<= 40% stored bytes,
+// <= 50% exact pairs, parity within epsilon).
 //
 // The bem:: free functions (analyze, assemble, solve) remain as serial
 // shims; their option structs carry physics only. Anything that runs more

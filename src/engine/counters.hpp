@@ -4,6 +4,7 @@
 // names live with their producer in src/bem/analysis.hpp.
 #pragma once
 
+#include "src/bem/far_field.hpp"
 #include "src/common/phase_report.hpp"
 #include "src/la/tile_store.hpp"
 
@@ -36,6 +37,33 @@ inline void add_tile_counters(PhaseReport& report, const la::TileStoreStats& sta
   report.add_counter(kTileEvictionsCounter, static_cast<double>(stats.evictions));
   report.add_counter(kTileSpillWritesCounter, static_cast<double>(stats.spill_writes));
   report.add_counter(kTileSpillReadsCounter, static_cast<double>(stats.spill_reads));
+}
+
+/// Far-field compression counters, folded per assembling run when
+/// ExecutionConfig::storage.compression is enabled. Everything is additive
+/// across runs — the mean block rank is deliberately stored as its numerator
+/// (rank sum; divide by the block count to recover the mean), because a
+/// ratio would not accumulate meaningfully on a shared PhaseReport.
+inline constexpr const char* kLowRankBlocksCounter = "Low-rank far-field blocks";
+inline constexpr const char* kLowRankTilesCounter = "Low-rank tiles";
+inline constexpr const char* kCompressedStoredBytesCounter = "Compressed matrix bytes stored";
+inline constexpr const char* kCompressedDenseBytesCounter = "Compressed matrix bytes (dense equivalent)";
+inline constexpr const char* kFarFieldRankSumCounter = "Far-field block rank sum";
+inline constexpr const char* kPairsSkippedCounter = "Element pairs skipped (far field)";
+inline constexpr const char* kPairsSampledCounter = "Element pairs sampled (ACA)";
+
+/// Fold one run's compression outcome into a report; dense runs (no blocks,
+/// nothing skipped) contribute nothing.
+inline void add_compression_counters(PhaseReport& report, const la::CompressionStats& stats,
+                                     const bem::FarFieldStats& far_field) {
+  if (stats.low_rank_blocks == 0 && far_field.pairs_skipped == 0) return;
+  report.add_counter(kLowRankBlocksCounter, static_cast<double>(stats.low_rank_blocks));
+  report.add_counter(kLowRankTilesCounter, static_cast<double>(stats.low_rank_tiles));
+  report.add_counter(kCompressedStoredBytesCounter, static_cast<double>(stats.stored_bytes));
+  report.add_counter(kCompressedDenseBytesCounter, static_cast<double>(stats.dense_bytes));
+  report.add_counter(kFarFieldRankSumCounter, static_cast<double>(stats.rank_sum));
+  report.add_counter(kPairsSkippedCounter, static_cast<double>(far_field.pairs_skipped));
+  report.add_counter(kPairsSampledCounter, static_cast<double>(far_field.pairs_sampled));
 }
 
 }  // namespace ebem::engine

@@ -183,6 +183,7 @@ bem::AssemblyResult Engine::assemble(const bem::BemModel& model,
   // counters are exactly this assembly's delta — fold them in like the
   // analyze/factor paths do.
   add_tile_counters(report_, result.matrix_tiles);
+  add_compression_counters(report_, result.compression, result.far_field);
   return result;
 }
 

@@ -81,6 +81,12 @@ struct ExecutionConfig {
   /// selects the file-backed spill pager, capping resident matrix bytes per
   /// store — the out-of-core path for grids beyond single-node memory.
   /// Eviction and spill-IO counters land on the session PhaseReport.
+  /// Setting storage.compression.epsilon > 0 instead selects the low-rank
+  /// (H-matrix) backend: assembly builds well-separated tile blocks as ACA
+  /// U V^T factors accurate to epsilon and skips their exact pair
+  /// integrations; compression counters (blocks, stored vs dense bytes,
+  /// rank sum, pairs skipped/sampled) land on the session PhaseReport.
+  /// Compression and a spill residency budget are mutually exclusive.
   la::StorageConfig storage;
 
   // --- instrumentation ---------------------------------------------------

@@ -146,6 +146,7 @@ void stage_factor(RunState& run) {
     // this snapshot.
     add_tile_counters(run.report, run.assembled->matrix.tile_stats());
     add_tile_counters(run.report, run.factored->factor().tile_stats());
+    add_compression_counters(run.report, run.assembled->compression, run.assembled->far_field);
     run.factor.reset();
     run.assembled.reset();
   }
@@ -190,6 +191,7 @@ void stage_solve(RunState& run) {
   run.report.add(Phase::kResultsStorage, wall.seconds(), cpu.seconds());
   add_tile_counters(run.report, result.matrix_tiles);
   add_tile_counters(run.report, result.solve_stats.factor_tiles);
+  add_compression_counters(run.report, result.compression, result.far_field);
   run.factor.reset();
   run.assembled.reset();
   run.analysis = std::move(result);

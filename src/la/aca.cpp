@@ -1,0 +1,150 @@
+#include "src/la/aca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebem::la {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+[[nodiscard]] double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+AcaResult adaptive_cross(std::size_t rows, std::size_t cols, const AcaSampler& sample_row,
+                         const AcaSampler& sample_col, const AcaOptions& options) {
+  EBEM_EXPECT(rows >= 1 && cols >= 1, "ACA needs a non-empty block");
+  EBEM_EXPECT(options.epsilon > 0.0 && std::isfinite(options.epsilon),
+              "ACA epsilon must be positive and finite");
+  EBEM_EXPECT(options.max_rank >= 1, "ACA rank budget must be at least 1");
+
+  const std::size_t full_rank = std::min(rows, cols);
+  const std::size_t cap = std::min(options.max_rank, full_rank);
+
+  // Rank-1 terms as separate vectors during the build (packed row-major at
+  // the end): the residual updates stream one term at a time anyway.
+  std::vector<std::vector<double>> us;
+  std::vector<std::vector<double>> vs;
+  std::vector<char> used_row(rows, 0);
+  std::vector<char> used_col(cols, 0);
+  std::vector<double> row(cols);
+  std::vector<double> col(rows);
+
+  AcaResult result;
+  // Running ||A_k||_F^2 of the approximation, accumulated incrementally:
+  // ||A_k||^2 = ||A_{k-1}||^2 + 2 sum_m (u_m . u_k)(v_m . v_k) + ||u_k||^2 ||v_k||^2.
+  double norm2 = 0.0;
+  std::size_t pivot_row = 0;
+
+  for (;;) {
+    // Residual row at the pivot: sampled row minus the current approximation.
+    sample_row(pivot_row, row.data());
+    result.rows_sampled += 1;
+    used_row[pivot_row] = 1;
+    for (std::size_t m = 0; m < us.size(); ++m) {
+      const double f = us[m][pivot_row];
+      if (f == 0.0) continue;
+      const double* vm = vs[m].data();
+      for (std::size_t j = 0; j < cols; ++j) row[j] -= f * vm[j];
+    }
+
+    std::size_t pivot_col = kNone;
+    double best = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      if (used_col[j] != 0) continue;
+      const double a = std::abs(row[j]);
+      if (a > best) {
+        best = a;
+        pivot_col = j;
+      }
+    }
+    if (pivot_col == kNone || best == 0.0) {
+      // The residual row vanishes — this row is already reproduced exactly.
+      // Move to the next unvisited row; when none remain, every row is
+      // captured and the approximation is exact.
+      pivot_row = kNone;
+      for (std::size_t i = 0; i < rows; ++i) {
+        if (used_row[i] == 0) {
+          pivot_row = i;
+          break;
+        }
+      }
+      if (pivot_row == kNone) {
+        result.converged = true;
+        break;
+      }
+      continue;
+    }
+
+    const double pivot = row[pivot_col];
+    std::vector<double> vk(cols);
+    for (std::size_t j = 0; j < cols; ++j) vk[j] = row[j] / pivot;
+
+    sample_col(pivot_col, col.data());
+    result.cols_sampled += 1;
+    used_col[pivot_col] = 1;
+    std::vector<double> uk(std::move(col));
+    for (std::size_t m = 0; m < us.size(); ++m) {
+      const double f = vs[m][pivot_col];
+      if (f == 0.0) continue;
+      const double* um = us[m].data();
+      for (std::size_t i = 0; i < rows; ++i) uk[i] -= f * um[i];
+    }
+    col.resize(rows);  // uk stole the buffer; restore for the next sample
+
+    const double uu = dot(uk, uk);
+    const double vv = dot(vk, vk);
+    double cross = 0.0;
+    for (std::size_t m = 0; m < us.size(); ++m) cross += dot(us[m], uk) * dot(vs[m], vk);
+    norm2 += 2.0 * cross + uu * vv;
+    us.push_back(std::move(uk));
+    vs.push_back(std::move(vk));
+
+    if (uu * vv <= options.epsilon * options.epsilon * norm2) {
+      result.converged = true;
+      break;
+    }
+    if (us.size() >= cap) {
+      // A cross approximation on min(rows, cols) distinct pivots reproduces
+      // the block exactly; stopping on the caller's budget does not.
+      result.converged = cap == full_rank;
+      break;
+    }
+
+    // Next pivot row: largest |u_k| entry among unvisited rows.
+    pivot_row = kNone;
+    best = -1.0;
+    const std::vector<double>& last_u = us.back();
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (used_row[i] != 0) continue;
+      const double a = std::abs(last_u[i]);
+      if (a > best) {
+        best = a;
+        pivot_row = i;
+      }
+    }
+    if (pivot_row == kNone) {
+      result.converged = true;  // all rows visited: exact on every row
+      break;
+    }
+  }
+
+  result.rank = us.size();
+  result.u.resize(rows * result.rank);
+  result.v.resize(cols * result.rank);
+  for (std::size_t k = 0; k < result.rank; ++k) {
+    for (std::size_t i = 0; i < rows; ++i) result.u[i * result.rank + k] = us[k][i];
+    for (std::size_t j = 0; j < cols; ++j) result.v[j * result.rank + k] = vs[k][j];
+  }
+  return result;
+}
+
+}  // namespace ebem::la

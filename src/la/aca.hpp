@@ -1,0 +1,55 @@
+// Adaptive Cross Approximation with partial pivoting — the low-rank engine
+// behind the compressed (H-matrix style) tile-store backend.
+//
+// ACA builds a rank-k approximation A ~ U V^T of an m x n block from k
+// sampled rows and k sampled columns, never materializing the block: each
+// step subtracts the current approximation from a freshly sampled pivot
+// row, normalizes it into v_k, samples the pivot column into u_k, and stops
+// when the new term's norm falls below epsilon times the running Frobenius
+// estimate of the approximation. For the asymptotically smooth layered-soil
+// kernels of this library, well-separated (admissible) blocks have
+// exponentially decaying singular values, so k stays far below min(m, n)
+// and the block costs O(k (m + n)) samples instead of m * n integrations.
+//
+// The sampler callbacks are the only coupling to the producer: the far-field
+// assembly hands in closures that evaluate one matrix row/column via
+// bem::Integrator element-pair integrals (see bem/far_field.hpp), and the
+// unit tests hand in closures over synthetic matrices.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace ebem::la {
+
+struct AcaOptions {
+  /// Relative stopping tolerance: accept rank k when ||u_k|| ||v_k|| <=
+  /// epsilon * ||A_k||_F (Frobenius norm of the running approximation).
+  double epsilon = 1e-8;
+  /// Rank budget; exceeding it without meeting the tolerance reports
+  /// converged == false so the caller can split the block instead.
+  std::size_t max_rank = 128;
+};
+
+struct AcaResult {
+  std::size_t rank = 0;
+  /// True when the tolerance was met (or the block was reproduced exactly);
+  /// false when the rank budget ran out first.
+  bool converged = false;
+  std::vector<double> u;  ///< rows x rank, row-major
+  std::vector<double> v;  ///< cols x rank, row-major
+  std::size_t rows_sampled = 0;
+  std::size_t cols_sampled = 0;
+};
+
+/// Row/column sampler: fill `out` with entries A(index, :) or A(:, index).
+using AcaSampler = std::function<void(std::size_t index, double* out)>;
+
+/// Partially pivoted ACA of an implicit rows x cols matrix. Deterministic:
+/// pivots depend only on the sampled values, never on thread timing.
+[[nodiscard]] AcaResult adaptive_cross(std::size_t rows, std::size_t cols,
+                                       const AcaSampler& sample_row, const AcaSampler& sample_col,
+                                       const AcaOptions& options);
+
+}  // namespace ebem::la

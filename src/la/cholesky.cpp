@@ -16,6 +16,10 @@ Cholesky::Cholesky(const SymMatrix& a, const CholeskyOptions& options) : n_(a.si
   StorageConfig config =
       options.storage.value_or(n_ > 0 ? a.storage_config() : StorageConfig{});
   config.tile_size = options.block;
+  // The factor is never compressed: fill-in destroys the low-rank structure,
+  // so a compressed input matrix densifies through copy_tiles below (its
+  // read checkouts decompress tile by tile) into a plain store.
+  config.compression = {};
   l_ = make_tile_store(n_, config);
   if (n_ == 0) return;
   copy_tiles(a.store(), *l_);

@@ -1,0 +1,212 @@
+#include "src/la/compressed_tile_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebem::la {
+
+namespace {
+
+/// Invert tile_index = ti (ti + 1) / 2 + tj back to (ti, tj).
+void tile_coordinates(std::size_t tile_index, std::size_t* ti, std::size_t* tj) {
+  std::size_t i = static_cast<std::size_t>(
+      (std::sqrt(8.0 * static_cast<double>(tile_index) + 1.0) - 1.0) / 2.0);
+  while (i * (i + 1) / 2 > tile_index) --i;           // float round-down
+  while ((i + 1) * (i + 2) / 2 <= tile_index) ++i;    // float round-up
+  *ti = i;
+  *tj = tile_index - i * (i + 1) / 2;
+}
+
+}  // namespace
+
+CompressedTileStore::CompressedTileStore(const TileLayout& layout, const StorageConfig& config)
+    : TileStore(layout, config), tile_block_(layout.tile_count(), kNone),
+      dense_(layout.tile_count()) {
+  EBEM_EXPECT(config.compression.enabled(),
+              "CompressedTileStore requires an enabled compression config");
+}
+
+void CompressedTileStore::install(LowRankBlock block) {
+  const TileLayout& l = layout();
+  const std::size_t tile = l.tile();
+  EBEM_EXPECT(block.row_begin < block.row_end && block.col_begin < block.col_end,
+              "low-rank block must be non-empty");
+  EBEM_EXPECT(block.row_end <= l.n() && block.col_end <= block.row_begin,
+              "low-rank block must lie strictly below the diagonal");
+  EBEM_EXPECT(block.row_begin % tile == 0 && block.col_begin % tile == 0 &&
+                  (block.row_end % tile == 0 || block.row_end == l.n()) &&
+                  (block.col_end % tile == 0 || block.col_end == l.n()),
+              "low-rank block ranges must be tile-aligned");
+  EBEM_EXPECT(block.u.size() == block.rows() * block.rank &&
+                  block.v.size() == block.cols() * block.rank,
+              "low-rank factor shapes do not match the block ranges");
+
+  const std::size_t block_id = blocks_.size();
+  for (std::size_t ti = l.tile_of(block.row_begin); ti <= l.tile_of(block.row_end - 1); ++ti) {
+    for (std::size_t tj = l.tile_of(block.col_begin); tj <= l.tile_of(block.col_end - 1); ++tj) {
+      const std::size_t t = l.tile_index(ti, tj);
+      EBEM_EXPECT(tile_block_[t] == kNone, "low-rank blocks must not overlap");
+      EBEM_EXPECT(dense_[t].empty(),
+                  "cannot install a low-rank block over an already materialized dense tile");
+      tile_block_[t] = block_id;
+    }
+  }
+  factor_bytes_ += block.factor_bytes();
+  blocks_.push_back(std::move(block));
+  const std::scoped_lock lock(mutex_);
+  const std::size_t resident =
+      dense_payload_bytes_ + factor_bytes_ + slots_.size() * l.tile_bytes();
+  peak_resident_bytes_ = std::max(peak_resident_bytes_, resident);
+}
+
+void CompressedTileStore::decompress_tile(std::size_t tile_index, double* out) const {
+  const TileLayout& l = layout();
+  std::size_t ti = 0, tj = 0;
+  tile_coordinates(tile_index, &ti, &tj);
+  const LowRankBlock& block = blocks_[tile_block_[tile_index]];
+  const std::size_t rows = l.rows_in(ti);
+  const std::size_t cols = l.rows_in(tj);
+  const std::size_t uoff = l.row_begin(ti) - block.row_begin;
+  const std::size_t voff = l.row_begin(tj) - block.col_begin;
+  const std::size_t rank = block.rank;
+  std::fill(out, out + l.tile_doubles(), 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* ui = block.u.data() + (uoff + i) * rank;
+    double* row = out + i * l.tile();
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double* vj = block.v.data() + (voff + j) * rank;
+      double sum = 0.0;
+      for (std::size_t k = 0; k < rank; ++k) sum += ui[k] * vj[k];
+      row[j] = sum;
+    }
+  }
+}
+
+TileGuard CompressedTileStore::checkout_index(std::size_t tile_index, TileAccess access) const {
+  const TileLayout& l = layout();
+  if (tile_block_[tile_index] == kNone) {
+    const std::scoped_lock lock(mutex_);
+    std::vector<double>& payload = dense_[tile_index];
+    if (payload.empty()) {
+      payload.assign(l.tile_doubles(), 0.0);
+      dense_payload_bytes_ += l.tile_bytes();
+      const std::size_t resident =
+          dense_payload_bytes_ + factor_bytes_ + slots_.size() * l.tile_bytes();
+      peak_resident_bytes_ = std::max(peak_resident_bytes_, resident);
+    }
+    return {this, tile_index, payload.data(), access};
+  }
+
+  EBEM_EXPECT(access == TileAccess::kRead,
+              "tiles covered by a low-rank far-field block are read-only; "
+              "writes must go to near-field (dense) tiles");
+  const std::scoped_lock lock(mutex_);
+  const auto it = resident_.find(tile_index);
+  if (it != resident_.end()) {
+    Slot& slot = slots_[it->second];
+    slot.pins += 1;
+    slot.stamp = ++clock_;
+    return {this, tile_index, slot.data.data(), access};
+  }
+  // Miss: reuse the stalest unpinned slot once the cache is full, else grow.
+  // Deque growth never moves existing slots, so outstanding guards stay
+  // valid. The decompression runs under the mutex — blocks are small (rank x
+  // tile work) and the only concurrent walkers are read-only consumers.
+  std::size_t id = kNone;
+  if (slots_.size() >= kScratchSlots) {
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].pins == 0 && slots_[s].stamp < oldest) {
+        oldest = slots_[s].stamp;
+        id = s;
+      }
+    }
+  }
+  if (id == kNone) {
+    slots_.emplace_back();
+    id = slots_.size() - 1;
+    const std::size_t resident =
+        dense_payload_bytes_ + factor_bytes_ + slots_.size() * l.tile_bytes();
+    peak_resident_bytes_ = std::max(peak_resident_bytes_, resident);
+  } else if (slots_[id].tile != kNone) {
+    resident_.erase(slots_[id].tile);
+    scratch_evictions_ += 1;
+  }
+  Slot& slot = slots_[id];
+  slot.data.resize(l.tile_doubles());
+  decompress_tile(tile_index, slot.data.data());
+  slot.tile = tile_index;
+  slot.pins = 1;
+  slot.stamp = ++clock_;
+  resident_[tile_index] = id;
+  return {this, tile_index, slot.data.data(), access};
+}
+
+void CompressedTileStore::commit_index(std::size_t tile_index, TileAccess) const {
+  if (tile_block_[tile_index] == kNone) return;  // dense payloads never move
+  const std::scoped_lock lock(mutex_);
+  const auto it = resident_.find(tile_index);
+  EBEM_ENSURE(it != resident_.end(), "commit of a low-rank tile that is not checked out");
+  Slot& slot = slots_[it->second];
+  EBEM_ENSURE(slot.pins > 0, "commit of a low-rank tile that is not pinned");
+  slot.pins -= 1;
+}
+
+void CompressedTileStore::set_zero() {
+  const std::scoped_lock lock(mutex_);
+  for (const Slot& slot : slots_) {
+    EBEM_ENSURE(slot.pins == 0, "set_zero with low-rank tiles still checked out");
+  }
+  // Zero content means no far field: drop the factors, zero what is dense.
+  blocks_.clear();
+  std::fill(tile_block_.begin(), tile_block_.end(), kNone);
+  factor_bytes_ = 0;
+  for (std::vector<double>& payload : dense_) std::fill(payload.begin(), payload.end(), 0.0);
+  slots_.clear();
+  resident_.clear();
+}
+
+std::unique_ptr<TileStore> CompressedTileStore::clone() const {
+  auto copy = std::make_unique<CompressedTileStore>(layout(), config());
+  copy->tile_block_ = tile_block_;
+  copy->blocks_ = blocks_;
+  copy->dense_ = dense_;
+  copy->dense_payload_bytes_ = dense_payload_bytes_;
+  copy->factor_bytes_ = factor_bytes_;
+  copy->peak_resident_bytes_ = dense_payload_bytes_ + factor_bytes_;
+  return copy;
+}
+
+TileStoreStats CompressedTileStore::stats() const {
+  const std::scoped_lock lock(mutex_);
+  TileStoreStats s;
+  s.resident_bytes = dense_payload_bytes_ + factor_bytes_ + slots_.size() * layout().tile_bytes();
+  s.peak_resident_bytes = std::max(peak_resident_bytes_, s.resident_bytes);
+  s.evictions = scratch_evictions_;
+  return s;
+}
+
+CompressionStats CompressedTileStore::compression_stats() const {
+  const std::scoped_lock lock(mutex_);
+  CompressionStats s;
+  s.dense_bytes = layout().total_bytes();
+  s.low_rank_blocks = blocks_.size();
+  for (const LowRankBlock& block : blocks_) {
+    s.rank_sum += block.rank;
+    s.max_rank = std::max(s.max_rank, block.rank);
+    s.stored_bytes += block.factor_bytes();
+  }
+  for (std::size_t t = 0; t < tile_block_.size(); ++t) {
+    if (tile_block_[t] != kNone) {
+      s.low_rank_tiles += 1;
+    } else if (!dense_[t].empty()) {
+      s.dense_tiles += 1;
+      s.stored_bytes += layout().tile_bytes();
+    }
+  }
+  return s;
+}
+
+}  // namespace ebem::la

@@ -1,0 +1,121 @@
+// H-matrix style tile-store backend: low-rank far field, dense near field.
+//
+// The third TileStore backend (see tile_store.hpp). The store starts out
+// all-dense-capable; during assembly the far-field builder installs
+// admissible tile blocks as U V^T factors (rank r << block size, built by
+// ACA from integrator samples — the dense far-field payload is never
+// materialized). Tiles covered by a factor are *read-only*: a read checkout
+// decompresses the tile's U and V row slices into a bounded scratch-slot
+// cache and pins the slot; a write checkout of such a tile throws, which is
+// how the backend catches any consumer that would silently corrupt the
+// factorized far field. Uncovered (near-field) tiles behave like the
+// in-memory arena, allocated lazily on first checkout.
+//
+// Byte accounting is per-representation: resident_bytes prices dense tiles
+// at their payload, low-rank blocks at their factor size and scratch slots
+// at one tile each, so the residency gauges (and the engine counters fed
+// from them) report the honest compressed footprint, not the dense
+// equivalent. compression_stats() exposes the stored-vs-dense breakdown.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/la/tile_store.hpp"
+
+namespace ebem::la {
+
+/// One admissible far-field block stored as U V^T over whole tiles. The DoF
+/// ranges are tile-aligned (ends may be clamped to n) and lie strictly
+/// below the diagonal: col_end <= row_begin, so the block never touches a
+/// diagonal tile and (row, col) order is unambiguous.
+struct LowRankBlock {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;
+  std::size_t col_begin = 0;
+  std::size_t col_end = 0;
+  std::size_t rank = 0;
+  std::vector<double> u;  ///< rows() x rank, row-major
+  std::vector<double> v;  ///< cols() x rank, row-major
+
+  [[nodiscard]] std::size_t rows() const { return row_end - row_begin; }
+  [[nodiscard]] std::size_t cols() const { return col_end - col_begin; }
+  [[nodiscard]] std::size_t factor_bytes() const {
+    return (u.size() + v.size()) * sizeof(double);
+  }
+};
+
+class CompressedTileStore final : public TileStore {
+ public:
+  CompressedTileStore(const TileLayout& layout, const StorageConfig& config);
+
+  /// Dense tiles hand out their (lazily allocated) payload directly; tiles
+  /// covered by a low-rank block decompress into a scratch slot on kRead and
+  /// throw ebem::InvalidArgument on kWrite.
+  [[nodiscard]] TileGuard checkout_index(std::size_t tile_index,
+                                         TileAccess access) const override;
+  void set_zero() override;
+  [[nodiscard]] std::unique_ptr<TileStore> clone() const override;
+  [[nodiscard]] TileStoreStats stats() const override;
+
+  /// Install one far-field factor. Requires tile-aligned DoF ranges strictly
+  /// below the diagonal, no overlap with previously installed blocks, and no
+  /// already-materialized dense payload in the covered tiles. Not
+  /// thread-safe against concurrent checkouts — the far-field builder
+  /// installs every block before assembly's scatter loop starts.
+  void install(LowRankBlock block);
+
+  /// Whether tile (ti, tj) is covered by an installed low-rank block (and is
+  /// therefore read-only). Lock-free: the coverage map is immutable between
+  /// install() calls, which precede all concurrent access.
+  [[nodiscard]] bool tile_is_low_rank(std::size_t ti, std::size_t tj) const {
+    return tile_block_[layout().tile_index(ti, tj)] != kNone;
+  }
+
+  [[nodiscard]] const std::vector<LowRankBlock>& blocks() const { return blocks_; }
+
+  /// Stored-vs-dense byte breakdown and rank profile of the current content.
+  [[nodiscard]] CompressionStats compression_stats() const;
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  /// Unpinned decompressed tiles retained for reuse; beyond this the stalest
+  /// slot is recycled. Sized for a handful of concurrent tile walkers, not
+  /// for holding the far field resident — that would defeat the compression.
+  static constexpr std::size_t kScratchSlots = 32;
+
+  struct Slot {
+    std::vector<double> data;
+    std::size_t tile = kNone;
+    std::size_t pins = 0;
+    std::uint64_t stamp = 0;
+  };
+
+  void commit_index(std::size_t tile_index, TileAccess access) const override;
+  /// Rebuild tile `tile_index` from its covering block: out is the row-major
+  /// tile payload (edge padding zeroed).
+  void decompress_tile(std::size_t tile_index, double* out) const;
+
+  std::vector<std::size_t> tile_block_;  ///< tile index -> block id or kNone
+  std::vector<LowRankBlock> blocks_;
+  /// Lazily allocated dense (near-field) tile payloads. The outer vector is
+  /// sized once; an inner vector's data pointer is stable after allocation,
+  /// so guards may outlive the mutex that allocated them.
+  mutable std::vector<std::vector<double>> dense_;
+
+  mutable std::mutex mutex_;
+  mutable std::deque<Slot> slots_;
+  mutable std::unordered_map<std::size_t, std::size_t> resident_;  ///< tile -> slot
+  mutable std::uint64_t clock_ = 0;
+  mutable std::size_t dense_payload_bytes_ = 0;
+  mutable std::size_t factor_bytes_ = 0;
+  mutable std::size_t peak_resident_bytes_ = 0;
+  mutable std::size_t scratch_evictions_ = 0;
+};
+
+}  // namespace ebem::la

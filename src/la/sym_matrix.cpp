@@ -6,12 +6,51 @@
 #include <utility>
 
 #include "src/common/error.hpp"
+#include "src/la/compressed_tile_store.hpp"
 #include "src/parallel/parallel_for.hpp"
 #include "src/parallel/thread_pool.hpp"
 
 namespace ebem::la {
 
 namespace {
+
+/// Far-field part of y = A x on a compressed store: each low-rank block
+/// contributes y_I += U (V^T x_J) and, by symmetry, y_J += V (U^T x_I) —
+/// O(rank (rows + cols)) per block instead of decompressing rows x cols
+/// entries. Serial and in fixed block order, so the result is deterministic.
+void apply_low_rank_blocks(const CompressedTileStore& store, std::span<const double> x,
+                           std::span<double> y) {
+  std::vector<double> w;
+  for (const LowRankBlock& block : store.blocks()) {
+    const std::size_t rank = block.rank;
+    if (rank == 0) continue;
+    w.assign(2 * rank, 0.0);
+    double* wv = w.data();         // V^T x_J
+    double* wu = w.data() + rank;  // U^T x_I
+    for (std::size_t j = 0; j < block.cols(); ++j) {
+      const double xj = x[block.col_begin + j];
+      const double* vj = block.v.data() + j * rank;
+      for (std::size_t k = 0; k < rank; ++k) wv[k] += vj[k] * xj;
+    }
+    for (std::size_t i = 0; i < block.rows(); ++i) {
+      const double xi = x[block.row_begin + i];
+      const double* ui = block.u.data() + i * rank;
+      for (std::size_t k = 0; k < rank; ++k) wu[k] += ui[k] * xi;
+    }
+    for (std::size_t i = 0; i < block.rows(); ++i) {
+      const double* ui = block.u.data() + i * rank;
+      double yi = 0.0;
+      for (std::size_t k = 0; k < rank; ++k) yi += ui[k] * wv[k];
+      y[block.row_begin + i] += yi;
+    }
+    for (std::size_t j = 0; j < block.cols(); ++j) {
+      const double* vj = block.v.data() + j * rank;
+      double yj = 0.0;
+      for (std::size_t k = 0; k < rank; ++k) yj += vj[k] * wu[k];
+      y[block.col_begin + j] += yj;
+    }
+  }
+}
 
 /// Contiguous tile-row strips with approximately equal tile counts (tile
 /// row I holds I + 1 tiles, so equal-count strips mean equal flops).
@@ -66,7 +105,7 @@ void SymMatrix::apply_entry(std::size_t i, std::size_t j, Op&& op) {
 double& SymMatrix::operator()(std::size_t i, std::size_t j) {
   EBEM_EXPECT(direct_ != nullptr,
               "mutable entry references require in-memory tile storage; "
-              "use set()/add() on a spill-backed matrix");
+              "use set()/add() on a spill-backed or compressed matrix");
   if (i < j) std::swap(i, j);
   return direct_[arena_slot(i, j)];
 }
@@ -94,10 +133,15 @@ void SymMatrix::multiply(std::span<const double> x, std::span<double> y) const {
   if (n_ == 0) return;
   const TileLayout& layout = store_->layout();
   const std::size_t tile = layout.tile();
+  // Compressed backend: low-rank tiles are skipped in the dense walk and
+  // applied directly from their factors afterwards, so the matvec never
+  // decompresses the far field.
+  const auto* compressed = dynamic_cast<const CompressedTileStore*>(store_.get());
   // Walk each lower-triangle tile once, scattering both (i, j) and (j, i).
   for (std::size_t ti = 0; ti < layout.tile_rows(); ++ti) {
     const std::size_t i0 = layout.row_begin(ti), i1 = layout.row_end(ti);
     for (std::size_t tj = 0; tj <= ti; ++tj) {
+      if (compressed != nullptr && compressed->tile_is_low_rank(ti, tj)) continue;
       const TileGuard guard = store_->checkout(ti, tj, TileAccess::kRead);
       const double* t = guard.data();
       const std::size_t j0 = layout.row_begin(tj);
@@ -131,11 +175,17 @@ void SymMatrix::multiply(std::span<const double> x, std::span<double> y) const {
       }
     }
   }
+  if (compressed != nullptr) apply_low_rank_blocks(*compressed, x, y);
 }
 
 void SymMatrix::multiply(std::span<const double> x, std::span<double> y, par::ThreadPool* pool,
                          std::size_t parallel_cutoff) const {
-  if (pool == nullptr || pool->num_threads() <= 1 || n_ < parallel_cutoff) {
+  // The strip-parallel walk assumes uniformly dense tile rows; on a
+  // compressed store the far field is an O(rank (rows + cols)) factor
+  // application that no longer dominates, so the serial walk (which skips
+  // low-rank tiles) is both correct and fast enough.
+  if (pool == nullptr || pool->num_threads() <= 1 || n_ < parallel_cutoff ||
+      dynamic_cast<const CompressedTileStore*>(store_.get()) != nullptr) {
     multiply(x, y);
     return;
   }

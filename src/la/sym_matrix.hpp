@@ -6,7 +6,10 @@
 // backend is the contiguous in-memory arena; a StorageConfig with a
 // residency budget selects the file-backed spill pager, which lets systems
 // larger than memory be assembled, multiplied and factored with a bounded
-// resident set. Algorithms walk tiles, never one flat array.
+// resident set; a StorageConfig with compression enabled selects the
+// low-rank (H-matrix) backend, whose far-field tiles multiply() applies
+// straight from their U V^T factors. Algorithms walk tiles, never one flat
+// array.
 #pragma once
 
 #include <cstddef>

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -12,6 +13,7 @@
 #include <unordered_map>
 
 #include "src/common/error.hpp"
+#include "src/la/compressed_tile_store.hpp"
 
 namespace ebem::la {
 
@@ -20,6 +22,22 @@ void validate_storage_config(const StorageConfig& config, const char* context) {
               std::string(context) + ": storage.tile_size must be at least 1");
   EBEM_EXPECT(config.residency_budget_bytes == 0 || !config.spill_dir.empty(),
               std::string(context) + ": a residency budget needs a non-empty storage.spill_dir");
+  const CompressionConfig& compression = config.compression;
+  EBEM_EXPECT(compression.epsilon >= 0.0 && std::isfinite(compression.epsilon),
+              std::string(context) + ": storage.compression.epsilon must be finite and >= 0");
+  if (compression.enabled()) {
+    EBEM_EXPECT(compression.min_block >= 1,
+                std::string(context) + ": storage.compression.min_block must be at least 1");
+    EBEM_EXPECT(compression.max_rank >= 1,
+                std::string(context) + ": storage.compression.max_rank must be at least 1");
+    EBEM_EXPECT(compression.min_rank_budget >= 1,
+                std::string(context) +
+                    ": storage.compression.min_rank_budget must be at least 1");
+    EBEM_EXPECT(config.residency_budget_bytes == 0,
+                std::string(context) +
+                    ": storage.compression and a spill residency budget are mutually "
+                    "exclusive; pick one backend");
+  }
 }
 
 TileLayout::TileLayout(std::size_t n, std::size_t tile_size)
@@ -354,8 +372,11 @@ TileStoreStats SpillTileStore::stats() const {
 // -------------------------------------------------------------- helpers ---
 
 std::unique_ptr<TileStore> make_tile_store(std::size_t n, const StorageConfig& config) {
-  EBEM_EXPECT(config.tile_size >= 1, "tile size must be at least 1");
+  validate_storage_config(config, "make_tile_store");
   const TileLayout layout(n, config.tile_size);
+  if (config.compression.enabled()) {
+    return std::make_unique<CompressedTileStore>(layout, config);
+  }
   if (config.residency_budget_bytes > 0) {
     return std::make_unique<SpillTileStore>(layout, config);
   }

@@ -16,12 +16,15 @@
 //     file and read back on demand, so factorization of an N x N system runs
 //     with only a configurable fraction of the matrix resident. Eviction and
 //     IO counters surface on TileStoreStats.
+//   * CompressedTileStore (compressed_tile_store.hpp) — the H-matrix style
+//     backend: well-separated tile blocks are held as low-rank U V^T factors
+//     (built by ACA during assembly) and decompress into a bounded scratch
+//     cache on read checkout; near-field tiles stay dense and exact.
 //
 // Tile-walking consumers (SymMatrix::multiply, the blocked Cholesky with
 // panel = tile column, the fused assembly scatter) touch O(1) tiles at a
-// time, which is what keeps the pager's working set bounded. A future
-// H-matrix / low-rank backend slots in behind the same checkout interface:
-// far-field tiles would decompress on checkout instead of paging from disk.
+// time, which is what keeps the pager's working set bounded and lets all
+// three backends sit behind one checkout interface.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +34,37 @@
 #include <vector>
 
 namespace ebem::la {
+
+/// Low-rank (H-matrix) compression policy of one symmetric matrix. Enabled
+/// by a positive epsilon; the matrix store then becomes a
+/// CompressedTileStore whose admissible far-field tile blocks hold U V^T
+/// factors instead of dense payloads. The epsilon is the accuracy contract:
+/// each compressed block approximates its exact counterpart to a relative
+/// (Frobenius) tolerance of epsilon, so solution-level quantities track the
+/// dense reference to about that level.
+struct CompressionConfig {
+  /// Relative block tolerance; 0 disables compression (dense tiles only).
+  double epsilon = 0.0;
+  /// Minimum DoFs per side for a block to be worth compressing; smaller
+  /// admissible blocks stay dense (a low-rank factor on a tiny block costs
+  /// more than the dense payload it replaces).
+  std::size_t min_block = 64;
+  /// Rank budget per block; a block that fails to meet epsilon within this
+  /// rank is split and retried on its halves.
+  std::size_t max_rank = 128;
+  /// Minimum *profitable* rank budget a block must offer before ACA samples
+  /// a single entry. A block only pays when rank * (rows + cols) undercuts
+  /// half the dense bytes it covers; blocks whose budget under that rule
+  /// falls below this floor are left dense outright — their ranks would sit
+  /// in the 20-35 band measured at the admissibility boundary, so sampling
+  /// them is a coin flip that costs about what it could save. The default
+  /// is tuned for 64-DoF tiles; tests and small-tile setups may lower it.
+  std::size_t min_rank_budget = 48;
+
+  [[nodiscard]] bool enabled() const { return epsilon > 0.0; }
+
+  friend bool operator==(const CompressionConfig&, const CompressionConfig&) = default;
+};
 
 /// Storage policy of one symmetric matrix (and of the Cholesky factor
 /// derived from it): tile geometry plus the out-of-core pager knobs.
@@ -45,6 +79,10 @@ struct StorageConfig {
   /// Directory for the pager's scratch file (created with mkstemp and
   /// immediately unlinked). Only used when residency_budget_bytes > 0.
   std::string spill_dir = ".";
+  /// Low-rank far-field compression (CompressedTileStore backend). Mutually
+  /// exclusive with a spill residency budget: a compressed matrix is already
+  /// small, and the factors have no tile-granular spill representation.
+  CompressionConfig compression;
 
   friend bool operator==(const StorageConfig&, const StorageConfig&) = default;
 };
@@ -117,6 +155,34 @@ struct TileStoreStats {
   /// Counter-only difference (gauges copied from *this) — how a caller turns
   /// cumulative store stats into a per-phase delta.
   [[nodiscard]] TileStoreStats delta_since(const TileStoreStats& before) const;
+};
+
+/// Compression outcome of one CompressedTileStore — how much of the dense
+/// lower triangle the low-rank factors replaced. All zeros for the dense
+/// backends.
+struct CompressionStats {
+  std::size_t low_rank_blocks = 0;  ///< installed U V^T blocks
+  std::size_t low_rank_tiles = 0;   ///< tiles covered by those blocks
+  std::size_t dense_tiles = 0;      ///< materialized dense (near-field) tiles
+  /// Bytes actually held: dense tile payloads plus low-rank factors. The
+  /// honest price of the matrix — what resident_bytes gauges report.
+  std::size_t stored_bytes = 0;
+  /// What the same lower triangle would cost fully dense
+  /// (TileLayout::total_bytes()); stored_bytes / dense_bytes is the
+  /// compression ratio.
+  std::size_t dense_bytes = 0;
+  std::size_t rank_sum = 0;  ///< sum of block ranks (mean = rank_sum / blocks)
+  std::size_t max_rank = 0;
+
+  [[nodiscard]] double mean_rank() const {
+    return low_rank_blocks == 0
+               ? 0.0
+               : static_cast<double>(rank_sum) / static_cast<double>(low_rank_blocks);
+  }
+  [[nodiscard]] double ratio() const {
+    return dense_bytes == 0 ? 1.0
+                            : static_cast<double>(stored_bytes) / static_cast<double>(dense_bytes);
+  }
 };
 
 enum class TileAccess {
@@ -260,9 +326,10 @@ class SpillTileStore final : public TileStore {
   int fd_ = -1;
 };
 
-/// Create the backend `config` asks for: a spill store when
-/// residency_budget_bytes > 0, the in-memory arena otherwise. The layout's
-/// tile size is config.tile_size clamped to n.
+/// Create the backend `config` asks for: the compressed (low-rank) store
+/// when compression is enabled, a spill store when residency_budget_bytes >
+/// 0, the in-memory arena otherwise. The layout's tile size is
+/// config.tile_size clamped to n.
 [[nodiscard]] std::unique_ptr<TileStore> make_tile_store(std::size_t n,
                                                          const StorageConfig& config);
 

@@ -1,5 +1,6 @@
 #include "src/soil/image_series.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "src/common/error.hpp"
@@ -9,6 +10,8 @@ namespace ebem::soil {
 
 ImageKernel::ImageKernel(const LayeredSoil& soil, const SeriesOptions& options)
     : soil_(soil), options_(options) {
+  static std::atomic<std::uint64_t> next_epoch{1};
+  epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed);
   EBEM_EXPECT(options.tolerance > 0.0 && options.tolerance < 1.0,
               "series tolerance must be in (0, 1)");
   EBEM_EXPECT(options.max_reflections >= 1, "need at least one reflection");

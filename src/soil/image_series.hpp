@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/geom/vec3.hpp"
@@ -73,6 +74,12 @@ class ImageKernel final : public PointKernel {
   [[nodiscard]] const LayeredSoil& soil() const { return soil_; }
   [[nodiscard]] const SeriesOptions& options() const { return options_; }
 
+  /// Process-unique instance id. Memoization that keys on a kernel must use
+  /// this, not the object address: a new kernel allocated where a destroyed
+  /// one lived would otherwise replay stale cached state (the integrator's
+  /// per-thread image-frame workspace hit exactly that hazard).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
  private:
   void build_uniform();
   void build_two_layer();
@@ -80,6 +87,7 @@ class ImageKernel final : public PointKernel {
 
   LayeredSoil soil_;
   SeriesOptions options_;
+  std::uint64_t epoch_ = 0;
   // terms_[b][c]; only [0][0] populated for uniform soil.
   std::vector<ImageTerm> terms_[2][2];
 };

@@ -1,0 +1,179 @@
+// Adaptive Cross Approximation on synthetic implicit matrices: exact
+// low-rank recovery, tolerance-bound approximation of smooth kernels, rank
+// budget reporting and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/la/aca.hpp"
+
+namespace ebem::la {
+namespace {
+
+/// Dense row-major matrix with samplers — the tests' implicit-matrix stand-in.
+struct DenseProbe {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> a;  // rows x cols
+  std::size_t row_samples = 0;
+  std::size_t col_samples = 0;
+
+  [[nodiscard]] AcaSampler row_sampler() {
+    return [this](std::size_t i, double* out) {
+      ++row_samples;
+      for (std::size_t j = 0; j < cols; ++j) out[j] = a[i * cols + j];
+    };
+  }
+  [[nodiscard]] AcaSampler col_sampler() {
+    return [this](std::size_t j, double* out) {
+      ++col_samples;
+      for (std::size_t i = 0; i < rows; ++i) out[i] = a[i * cols + j];
+    };
+  }
+};
+
+double frobenius(const std::vector<double>& a) {
+  double sum = 0.0;
+  for (double x : a) sum += x * x;
+  return std::sqrt(sum);
+}
+
+/// || A - U V^T ||_F of the result against the probe.
+double reconstruction_error(const DenseProbe& probe, const AcaResult& result) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < probe.rows; ++i) {
+    for (std::size_t j = 0; j < probe.cols; ++j) {
+      double approx = 0.0;
+      for (std::size_t k = 0; k < result.rank; ++k) {
+        approx += result.u[i * result.rank + k] * result.v[j * result.rank + k];
+      }
+      sum += (probe.a[i * probe.cols + j] - approx) * (probe.a[i * probe.cols + j] - approx);
+    }
+  }
+  return std::sqrt(sum);
+}
+
+/// Deterministic pseudo-random value in [-1, 1] (no global RNG state).
+double hash_unit(std::size_t i, std::size_t j) {
+  std::size_t h = i * 2654435761u + j * 40503u + 97u;
+  h ^= h >> 13;
+  h *= 1099511628211ull;
+  h ^= h >> 7;
+  return static_cast<double>(h % 20001u) / 10000.0 - 1.0;
+}
+
+DenseProbe exact_low_rank(std::size_t rows, std::size_t cols, std::size_t rank) {
+  DenseProbe probe{rows, cols, std::vector<double>(rows * cols, 0.0)};
+  for (std::size_t k = 0; k < rank; ++k) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        probe.a[i * cols + j] += hash_unit(i, k) * hash_unit(j, k + 100);
+      }
+    }
+  }
+  return probe;
+}
+
+TEST(Aca, RecoversExactLowRankMatrix) {
+  DenseProbe probe = exact_low_rank(40, 30, 3);
+  const AcaResult result =
+      adaptive_cross(40, 30, probe.row_sampler(), probe.col_sampler(), {1e-12, 20});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.rank, 3u);
+  EXPECT_LE(result.rank, 5u);  // a guard term or two beyond the true rank is fine
+  EXPECT_LE(reconstruction_error(probe, result), 1e-10 * frobenius(probe.a));
+  EXPECT_EQ(result.u.size(), 40u * result.rank);
+  EXPECT_EQ(result.v.size(), 30u * result.rank);
+}
+
+TEST(Aca, MeetsToleranceOnSmoothKernel) {
+  // Asymptotically smooth displaced-1/r kernel — the structure of an
+  // admissible BEM block. Singular values decay exponentially, so ACA should
+  // stop at a small rank while honoring the tolerance.
+  constexpr std::size_t kRows = 64;
+  constexpr std::size_t kCols = 48;
+  DenseProbe probe{kRows, kCols, std::vector<double>(kRows * kCols)};
+  for (std::size_t i = 0; i < kRows; ++i) {
+    for (std::size_t j = 0; j < kCols; ++j) {
+      const double x = static_cast<double>(i) / kRows;
+      const double y = static_cast<double>(j) / kCols;
+      probe.a[i * kCols + j] = 1.0 / (3.0 + x - y);
+    }
+  }
+  constexpr double kEpsilon = 1e-9;
+  const AcaResult result =
+      adaptive_cross(kRows, kCols, probe.row_sampler(), probe.col_sampler(), {kEpsilon, 48});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.rank, 16u);  // far below min(m, n)
+  // The stopping rule bounds the *estimated* error; allow a safety factor.
+  EXPECT_LE(reconstruction_error(probe, result), 50.0 * kEpsilon * frobenius(probe.a));
+  // Sampling cost is O(rank) rows + columns, not O(m n).
+  EXPECT_LE(probe.row_samples, result.rank + 2);
+  EXPECT_LE(probe.col_samples, result.rank + 2);
+}
+
+TEST(Aca, ReportsRankBudgetExhaustion) {
+  // Full-rank random matrix with a tight budget: must report !converged so
+  // the far-field builder splits the block instead of trusting the factors.
+  DenseProbe probe{20, 20, std::vector<double>(400)};
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 20; ++j) probe.a[i * 20 + j] = hash_unit(i, j);
+  }
+  const AcaResult result =
+      adaptive_cross(20, 20, probe.row_sampler(), probe.col_sampler(), {1e-14, 4});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.rank, 4u);
+}
+
+TEST(Aca, FullRankBudgetAlwaysConverges) {
+  // With the budget at min(m, n) the cross approximation can reproduce any
+  // block exactly, so the budget alone must never report failure.
+  DenseProbe probe{12, 8, std::vector<double>(96)};
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) probe.a[i * 8 + j] = hash_unit(i + 7, j);
+  }
+  const AcaResult result =
+      adaptive_cross(12, 8, probe.row_sampler(), probe.col_sampler(), {1e-14, 8});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(reconstruction_error(probe, result), 1e-10 * frobenius(probe.a));
+}
+
+TEST(Aca, ZeroMatrixYieldsRankZero) {
+  DenseProbe probe{10, 10, std::vector<double>(100, 0.0)};
+  const AcaResult result =
+      adaptive_cross(10, 10, probe.row_sampler(), probe.col_sampler(), {1e-8, 10});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rank, 0u);
+}
+
+TEST(Aca, SkipsZeroResidualRows) {
+  // Rank-1 matrix whose first rows are zero: the pivot search must step past
+  // rows the residual annihilates instead of dividing by zero.
+  DenseProbe probe{10, 6, std::vector<double>(60, 0.0)};
+  for (std::size_t i = 5; i < 10; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      probe.a[i * 6 + j] = static_cast<double>(i) * (1.0 + static_cast<double>(j));
+    }
+  }
+  const AcaResult result =
+      adaptive_cross(10, 6, probe.row_sampler(), probe.col_sampler(), {1e-12, 6});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(reconstruction_error(probe, result), 1e-10 * frobenius(probe.a));
+}
+
+TEST(Aca, RejectsInvalidArguments) {
+  DenseProbe probe = exact_low_rank(4, 4, 1);
+  const AcaSampler row = probe.row_sampler();
+  const AcaSampler col = probe.col_sampler();
+  EXPECT_THROW((void)adaptive_cross(0, 4, row, col, {1e-8, 4}), ebem::InvalidArgument);
+  EXPECT_THROW((void)adaptive_cross(4, 0, row, col, {1e-8, 4}), ebem::InvalidArgument);
+  EXPECT_THROW((void)adaptive_cross(4, 4, row, col, {0.0, 4}), ebem::InvalidArgument);
+  EXPECT_THROW((void)adaptive_cross(4, 4, row, col, {1e-8, 0}), ebem::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ebem::la

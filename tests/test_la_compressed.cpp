@@ -1,0 +1,330 @@
+// CompressedTileStore backend: low-rank install/decompress parity against a
+// dense reference, the read-only contract of covered tiles, byte accounting,
+// clone/set_zero semantics, the SymMatrix low-rank matvec fast path,
+// copy_tiles densification (the Cholesky input path) and concurrent readers
+// on the scratch cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/la/cholesky.hpp"
+#include "src/la/compressed_tile_store.hpp"
+#include "src/la/sym_matrix.hpp"
+#include "src/la/tile_store.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+namespace ebem::la {
+namespace {
+
+constexpr std::size_t kN = 96;
+constexpr std::size_t kTile = 16;
+
+StorageConfig compressed_config() {
+  StorageConfig config;
+  config.tile_size = kTile;
+  config.compression.epsilon = 1e-8;
+  return config;
+}
+
+/// The reference far-field block of most tests: rank 2 over DoF rows
+/// [48, 96) x cols [0, 32) — six whole tiles of the 96/16 layout.
+constexpr std::size_t kRow0 = 48, kRow1 = 96, kCol0 = 0, kCol1 = 32, kRank = 2;
+
+double u_entry(std::size_t local_row, std::size_t k) {
+  return 0.01 * static_cast<double>(local_row + 1) + 0.5 * static_cast<double>(k);
+}
+double v_entry(std::size_t local_col, std::size_t k) {
+  return 0.02 * static_cast<double>(local_col + 1) - 0.3 * static_cast<double>(k);
+}
+/// Dense value of global entry (i, j) inside the reference block.
+double block_entry(std::size_t i, std::size_t j) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < kRank; ++k) sum += u_entry(i - kRow0, k) * v_entry(j - kCol0, k);
+  return sum;
+}
+
+LowRankBlock reference_block() {
+  LowRankBlock block;
+  block.row_begin = kRow0;
+  block.row_end = kRow1;
+  block.col_begin = kCol0;
+  block.col_end = kCol1;
+  block.rank = kRank;
+  block.u.resize((kRow1 - kRow0) * kRank);
+  block.v.resize((kCol1 - kCol0) * kRank);
+  for (std::size_t i = 0; i < kRow1 - kRow0; ++i) {
+    for (std::size_t k = 0; k < kRank; ++k) block.u[i * kRank + k] = u_entry(i, k);
+  }
+  for (std::size_t j = 0; j < kCol1 - kCol0; ++j) {
+    for (std::size_t k = 0; k < kRank; ++k) block.v[j * kRank + k] = v_entry(j, k);
+  }
+  return block;
+}
+
+std::unique_ptr<CompressedTileStore> make_store_with_block() {
+  auto store = std::make_unique<CompressedTileStore>(TileLayout(kN, kTile), compressed_config());
+  store->install(reference_block());
+  return store;
+}
+
+TEST(CompressedTileStore, MakeTileStoreRoutesOnCompressionConfig) {
+  const auto store = make_tile_store(kN, compressed_config());
+  EXPECT_NE(dynamic_cast<const CompressedTileStore*>(store.get()), nullptr);
+  EXPECT_EQ(store->direct_data(), nullptr);  // never directly addressable
+  const auto dense = make_tile_store(kN, {.tile_size = kTile});
+  EXPECT_EQ(dynamic_cast<const CompressedTileStore*>(dense.get()), nullptr);
+}
+
+TEST(CompressedTileStore, CompressionAndSpillAreMutuallyExclusive) {
+  StorageConfig config = compressed_config();
+  config.residency_budget_bytes = 1 << 20;
+  EXPECT_THROW((void)make_tile_store(kN, config), ebem::InvalidArgument);
+}
+
+TEST(CompressedTileStore, RejectsZeroMinRankBudget) {
+  StorageConfig config = compressed_config();
+  config.compression.min_rank_budget = 0;
+  EXPECT_THROW((void)make_tile_store(kN, config), ebem::InvalidArgument);
+}
+
+TEST(CompressedTileStore, DecompressesCoveredTilesOnReadCheckout) {
+  const auto owned = make_store_with_block();
+  const CompressedTileStore& store = *owned;
+  EXPECT_TRUE(store.tile_is_low_rank(3, 0));
+  EXPECT_TRUE(store.tile_is_low_rank(5, 1));
+  EXPECT_FALSE(store.tile_is_low_rank(2, 0));
+  EXPECT_FALSE(store.tile_is_low_rank(3, 3));
+  for (const auto [ti, tj] : {std::pair<std::size_t, std::size_t>{3, 0}, {4, 1}, {5, 0}}) {
+    const TileGuard guard = store.checkout(ti, tj, TileAccess::kRead);
+    for (std::size_t i = ti * kTile; i < (ti + 1) * kTile; ++i) {
+      for (std::size_t j = tj * kTile; j < (tj + 1) * kTile; ++j) {
+        EXPECT_DOUBLE_EQ(guard.data()[(i % kTile) * kTile + (j % kTile)], block_entry(i, j));
+      }
+    }
+  }
+}
+
+TEST(CompressedTileStore, CoveredTilesAreReadOnly) {
+  const auto owned = make_store_with_block();
+  const CompressedTileStore& store = *owned;
+  EXPECT_THROW((void)store.checkout(3, 0, TileAccess::kWrite), ebem::InvalidArgument);
+  // Uncovered tiles write like the in-memory arena (lazily allocated).
+  {
+    const TileGuard guard = store.checkout(2, 1, TileAccess::kWrite);
+    guard.data()[7] = 42.0;
+  }
+  const TileGuard again = store.checkout(2, 1, TileAccess::kRead);
+  EXPECT_DOUBLE_EQ(again.data()[7], 42.0);
+}
+
+TEST(CompressedTileStore, InstallValidatesBlocks) {
+  const auto owned = make_store_with_block();
+  CompressedTileStore& store = *owned;
+  LowRankBlock overlap = reference_block();  // same tiles again
+  EXPECT_THROW(store.install(std::move(overlap)), ebem::InvalidArgument);
+
+  LowRankBlock misaligned = reference_block();
+  misaligned.row_begin = kRow0 + 1;
+  misaligned.u.resize((misaligned.row_end - misaligned.row_begin) * kRank);
+  EXPECT_THROW(store.install(std::move(misaligned)), ebem::InvalidArgument);
+
+  LowRankBlock diagonal = reference_block();
+  diagonal.col_begin = 32;
+  diagonal.col_end = 64;  // col_end > row_begin = 48
+  EXPECT_THROW(store.install(std::move(diagonal)), ebem::InvalidArgument);
+
+  LowRankBlock bad_shape = reference_block();
+  bad_shape.u.pop_back();
+  EXPECT_THROW(store.install(std::move(bad_shape)), ebem::InvalidArgument);
+
+  // A dense tile that already materialized cannot be covered afterwards.
+  CompressedTileStore fresh(TileLayout(kN, kTile), compressed_config());
+  { const TileGuard guard = fresh.checkout(3, 0, TileAccess::kWrite); }
+  EXPECT_THROW(fresh.install(reference_block()), ebem::InvalidArgument);
+}
+
+TEST(CompressedTileStore, ByteAccountingPricesFactorsNotDenseTiles) {
+  const TileLayout layout(kN, kTile);
+  CompressedTileStore store(layout, compressed_config());
+  EXPECT_EQ(store.stats().resident_bytes, 0u);
+  store.install(reference_block());
+  const std::size_t factor_bytes = ((kRow1 - kRow0) + (kCol1 - kCol0)) * kRank * sizeof(double);
+  EXPECT_EQ(store.stats().resident_bytes, factor_bytes);
+  { const TileGuard guard = store.checkout(0, 0, TileAccess::kWrite); }
+  EXPECT_EQ(store.stats().resident_bytes, factor_bytes + layout.tile_bytes());
+  // One scratch slot appears when a covered tile decompresses, and repeated
+  // checkouts of the same tile reuse it.
+  { const TileGuard guard = store.checkout(3, 0, TileAccess::kRead); }
+  { const TileGuard guard = store.checkout(3, 0, TileAccess::kRead); }
+  EXPECT_EQ(store.stats().resident_bytes, factor_bytes + 2 * layout.tile_bytes());
+  EXPECT_EQ(store.stats().evictions, 0u);
+
+  const CompressionStats stats = store.compression_stats();
+  EXPECT_EQ(stats.low_rank_blocks, 1u);
+  EXPECT_EQ(stats.low_rank_tiles, 6u);
+  EXPECT_EQ(stats.dense_tiles, 1u);
+  EXPECT_EQ(stats.stored_bytes, factor_bytes + layout.tile_bytes());
+  EXPECT_EQ(stats.dense_bytes, layout.total_bytes());
+  EXPECT_EQ(stats.rank_sum, kRank);
+  EXPECT_EQ(stats.max_rank, kRank);
+  EXPECT_DOUBLE_EQ(stats.mean_rank(), static_cast<double>(kRank));
+  EXPECT_LT(stats.ratio(), 1.0);
+}
+
+TEST(CompressedTileStore, CloneIsADeepCopy) {
+  const auto owned = make_store_with_block();
+  CompressedTileStore& store = *owned;
+  {
+    const TileGuard guard = store.checkout(1, 0, TileAccess::kWrite);
+    guard.data()[3] = 7.0;
+  }
+  const auto copy = store.clone();
+  {
+    const TileGuard guard = store.checkout(1, 0, TileAccess::kWrite);
+    guard.data()[3] = -1.0;  // mutate the original after the clone
+  }
+  const TileGuard dense_tile = copy->checkout(1, 0, TileAccess::kRead);
+  EXPECT_DOUBLE_EQ(dense_tile.data()[3], 7.0);
+  const TileGuard far_tile = copy->checkout(4, 0, TileAccess::kRead);
+  EXPECT_DOUBLE_EQ(far_tile.data()[0], block_entry(64, 0));
+}
+
+TEST(CompressedTileStore, SetZeroDropsTheFactors) {
+  const auto owned = make_store_with_block();
+  CompressedTileStore& store = *owned;
+  {
+    const TileGuard guard = store.checkout(0, 0, TileAccess::kWrite);
+    guard.data()[0] = 5.0;
+  }
+  store.set_zero();
+  EXPECT_TRUE(store.blocks().empty());
+  EXPECT_FALSE(store.tile_is_low_rank(3, 0));
+  // Previously covered tiles are writable dense tiles now, and dense
+  // payloads were zeroed.
+  { const TileGuard guard = store.checkout(3, 0, TileAccess::kWrite); }
+  const TileGuard zeroed = store.checkout(0, 0, TileAccess::kRead);
+  EXPECT_DOUBLE_EQ(zeroed.data()[0], 0.0);
+}
+
+/// Compressed matrix with the reference far block plus deterministic dense
+/// near entries, and its all-dense twin holding identical logical content.
+struct MatrixPair {
+  SymMatrix compressed;
+  SymMatrix dense;
+};
+
+MatrixPair make_matrix_pair() {
+  MatrixPair pair{SymMatrix(kN, compressed_config()), SymMatrix(kN, {.tile_size = kTile})};
+  auto* store = dynamic_cast<CompressedTileStore*>(&pair.compressed.store());
+  EXPECT_NE(store, nullptr);
+  store->install(reference_block());
+  const TileLayout& layout = pair.compressed.layout();
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (store->tile_is_low_rank(layout.tile_of(i), layout.tile_of(j))) {
+        pair.dense.set(i, j, block_entry(i, j));
+      } else {
+        // Diagonally dominant near field keeps the matrix SPD for the
+        // Cholesky test below.
+        const double value =
+            i == j ? 50.0 + static_cast<double>(i)
+                   : 0.3 * std::sin(static_cast<double>(1 + i * 131 + j * 17));
+        pair.compressed.set(i, j, value);
+        pair.dense.set(i, j, value);
+      }
+    }
+  }
+  return pair;
+}
+
+TEST(CompressedTileStore, EntryReadsMatchTheDenseTwin) {
+  const MatrixPair pair = make_matrix_pair();
+  for (std::size_t i = 0; i < kN; i += 7) {
+    for (std::size_t j = 0; j <= i; j += 5) {
+      EXPECT_DOUBLE_EQ(pair.compressed.get(i, j), pair.dense.get(i, j)) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(pair.compressed.packed(), pair.dense.packed());
+}
+
+TEST(CompressedTileStore, MultiplyAppliesFactorsDirectly) {
+  const MatrixPair pair = make_matrix_pair();
+  std::vector<double> x(kN);
+  for (std::size_t i = 0; i < kN; ++i) x[i] = std::cos(static_cast<double>(i));
+  std::vector<double> y_compressed(kN), y_dense(kN);
+  pair.compressed.multiply(x, y_compressed);
+  pair.dense.multiply(x, y_dense);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(y_compressed[i], y_dense[i], 1e-10 * std::abs(y_dense[i]) + 1e-12) << i;
+  }
+}
+
+TEST(CompressedTileStore, PooledMultiplyFallsBackToTheSerialWalk) {
+  const MatrixPair pair = make_matrix_pair();
+  par::ThreadPool pool(4);
+  std::vector<double> x(kN);
+  for (std::size_t i = 0; i < kN; ++i) x[i] = std::sin(0.1 * static_cast<double>(i));
+  std::vector<double> serial(kN), pooled(kN);
+  pair.compressed.multiply(x, serial);
+  pair.compressed.multiply(x, pooled, &pool, /*parallel_cutoff=*/1);
+  EXPECT_EQ(serial, pooled);  // bitwise: the pooled overload must defer
+}
+
+TEST(CompressedTileStore, CopyTilesDensifiesForCholesky) {
+  const MatrixPair pair = make_matrix_pair();
+  // copy_tiles is the Cholesky input path: read checkouts decompress tile by
+  // tile into the factor's plain store.
+  SymMatrix densified(kN, {.tile_size = kTile});
+  copy_tiles(pair.compressed.store(), densified.store());
+  EXPECT_EQ(densified.packed(), pair.dense.packed());
+
+  const Cholesky factor_compressed(pair.compressed);
+  const Cholesky factor_dense(pair.dense);
+  std::vector<double> b(kN, 1.0);
+  const std::vector<double> x_compressed = factor_compressed.solve(b);
+  const std::vector<double> x_dense = factor_dense.solve(b);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(x_compressed[i], x_dense[i], 1e-12 * std::abs(x_dense[i]) + 1e-15) << i;
+  }
+}
+
+TEST(CompressedTileStore, ConcurrentReadersSeeConsistentTiles) {
+  const auto owned = make_store_with_block();
+  const CompressedTileStore& store = *owned;
+  // Warm one dense tile so readers mix dense and decompressed checkouts.
+  {
+    const TileGuard guard = store.checkout(2, 2, TileAccess::kWrite);
+    guard.data()[5] = 9.0;
+  }
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 200;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &failures, t] {
+      const std::pair<std::size_t, std::size_t> far_tiles[] = {{3, 0}, {3, 1}, {4, 0},
+                                                               {4, 1}, {5, 0}, {5, 1}};
+      for (std::size_t it = 0; it < kIters; ++it) {
+        const auto [ti, tj] = far_tiles[(it + t) % 6];
+        const TileGuard guard = store.checkout(ti, tj, TileAccess::kRead);
+        const std::size_t i = ti * kTile + (it % kTile);
+        const std::size_t j = tj * kTile + ((it + t) % kTile);
+        if (guard.data()[(i % kTile) * kTile + (j % kTile)] != block_entry(i, j)) {
+          failures[t] += 1;
+        }
+        const TileGuard dense = store.checkout(2, 2, TileAccess::kRead);
+        if (dense.data()[5] != 9.0) failures[t] += 1;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+}  // namespace
+}  // namespace ebem::la
