@@ -19,6 +19,11 @@
 //                warm rate of candidate k > 1 vs the cold rate a fresh
 //                cache achieves on the same grid. This is the design_search
 //                reuse pattern in isolation.
+//
+// The JSON lines double as input to CI's bench-regression gate
+// (bench/compare_bench.py vs bench/baselines/): the hit rates gate on
+// every run, the timings once the baseline's pool_threads matches the
+// runner's. See bench/baselines/README.md for re-baselining.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>

@@ -6,28 +6,47 @@
 // statistics, end-to-end safety-quantity parity (post::assess_safety
 // touch/step voltages and the equivalent resistance) and peak RSS.
 //
-// Two grid families, because compressibility is a geometry property under
-// the in-place DoF order (tile rows are contiguous DoF slabs):
-//  * square grids — slab clusters span the full grid width, so far blocks
-//    carry high numerical rank and the profit gate keeps most of them
-//    dense: the bench shows parity and the honest "refuses to compress"
-//    economics;
+// Three grid families, because compressibility is a geometry property of
+// the *storage order* (tile rows are contiguous DoF slabs):
+//  * square grids, in-place order — slab clusters span the full grid width,
+//    far blocks carry high numerical rank and the profit gate keeps most of
+//    them dense: the bench shows parity and the honest "refuses to
+//    compress" economics;
 //  * a long grid (8 x long_cells, a trench/pipeline-style layout) — slab
 //    clusters are compact, the far field is genuinely low rank, and the
-//    backend breaks the dense wall: this case carries the --check
-//    compression gates.
+//    backend breaks the dense wall: this case carries the strictest gates;
+//  * a square grid under ordering=geometric — the RCB DoF clustering
+//    (src/bem/clustering.hpp) rebuilds the tile rows as near-cubical
+//    spatial clusters behind a permutation, so the same square geometry
+//    that refuses to compress in place becomes compressible: this case
+//    carries the geometry-independence gate.
 //
-// Usage: bench_hmatrix [cells...] [--long N] [--check]
-//   cells...  square grid cells per side, each swept over every epsilon
-//             (default 12 24)
-//   --long N  cells along the long grid's axis (default 260 -> 4428
-//             elements, 2349 DoFs; 0 skips the long grid)
-//   --check   CI gate: exit nonzero unless every case
-//              * matches the dense safety quantities to <= epsilon relative,
-//             and every >= 2000-element epsilon=1e-8 case additionally
-//              * stores <= 40% of the dense matrix bytes,
-//              * integrates <= 50% of the exact element pairs, and
-//              * shows the compression counters on the engine PhaseReport.
+// Every --check gate is per-case (a GateSpec per grid family) — square
+// in-place cases are parity-only on purpose, and the two wall cases carry
+// different byte ceilings because slab clusters and RCB clusters face
+// different rank economics.
+//
+// Usage: bench_hmatrix [cells...] [--long N] [--ordered N] [--check]
+//   cells...    square grid cells per side, each swept over every epsilon
+//               (default 12 24)
+//   --long N    cells along the long grid's axis (default 260 -> 4428
+//               elements, 2349 DoFs; 0 skips the long grid)
+//   --ordered N square grid cells per side analyzed under
+//               ordering=geometric at epsilon 1e-8 (default 44 -> 3960
+//               elements, 2025 DoFs; 0 skips the ordered grid)
+//   --check     CI gate: exit nonzero unless every case matches the dense
+//               safety quantities to <= epsilon relative, and every
+//               >= 2000-element epsilon=1e-8 case additionally meets its
+//               family's GateSpec:
+//                * long (trench): <= 40% of dense bytes stored, <= 50% of
+//                  the exact element pairs integrated;
+//                * square_ordered: <= 60% of dense bytes stored;
+//               and shows the compression (and, when ordered, ordering)
+//               counters on the engine PhaseReport.
+//
+// New timing/ratio baselines for CI's bench-regression gate are captured
+// from this bench's JSON lines — see bench/baselines/README.md for the
+// re-baselining workflow.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -52,6 +71,21 @@ using namespace ebem;
 double rel_diff(double value, double reference) {
   return std::abs(value - reference) / (std::abs(reference) + 1e-300);
 }
+
+/// Per-family compression gates, armed on >= 2000-element epsilon=1e-8
+/// cases under --check. Parity always gates; these are the extra walls.
+struct GateSpec {
+  double max_ratio = 1.0;        ///< stored bytes / dense bytes ceiling
+  double max_exact_pairs = 1.0;  ///< (near + sampled) / dense pair ceiling
+};
+
+/// Trench wall: the backend must beat the dense pair bill *and* the dense
+/// bytes — slab tile rows are already compact clusters on this geometry.
+constexpr GateSpec kLongGates{.max_ratio = 0.40, .max_exact_pairs = 0.50};
+/// Ordered-square wall: the geometry-independence claim is about storage.
+/// The ACA still samples (and the profit gate refuses) many borderline
+/// blocks on this geometry, so the exact-pair bill is not gated here.
+constexpr GateSpec kOrderedGates{.max_ratio = 0.60, .max_exact_pairs = 10.0};
 
 /// The engineering answers a compressed analysis must preserve.
 struct SafetyQuantities {
@@ -87,11 +121,25 @@ struct CaseOutcome {
 };
 
 CaseOutcome run_compressed_case(const char* name, const bem::BemModel& model, double extent_x,
-                                double extent_y, double epsilon,
-                                const SafetyQuantities& reference, double dense_seconds) {
+                                double extent_y, double epsilon, bool ordered,
+                                const GateSpec* gates, const SafetyQuantities& reference,
+                                double dense_seconds) {
   engine::ExecutionConfig config;
   config.num_threads = 0;  // hardware concurrency
   config.storage.compression = {.epsilon = epsilon, .min_block = 64, .max_rank = 128};
+  if (ordered) {
+    // Tuned for RCB-clustered square grids: 32-wide tile rows match the
+    // clustering leaves, min_block 32 admits the leaf-pair blocks RCB
+    // produces, and a small profit budget lets their ~s/4 ranks through
+    // (measured on the 44-cell grid at epsilon 1e-8: 56.5% of dense
+    // bytes stored, parity 2e-11). The trench cases keep the default
+    // knobs so their PR 6 gates measure the unordered backend.
+    config.storage.tile_size = 32;
+    config.storage.compression.min_block = 32;
+    config.storage.compression.max_rank = 64;
+    config.storage.compression.min_rank_budget = 8;
+    config.storage.compression.ordering = la::DofOrdering::kGeometric;
+  }
   engine::Engine engine(config);
 
   WallTimer timer;
@@ -118,18 +166,24 @@ CaseOutcome run_compressed_case(const char* name, const bem::BemModel& model, do
   CaseOutcome outcome;
   outcome.parity_ok = parity_resistance <= epsilon && parity_touch <= epsilon &&
                       parity_step <= epsilon;
-  outcome.wall_case = model.element_count() >= 2000 && epsilon == 1e-8;
+  outcome.wall_case = gates != nullptr && model.element_count() >= 2000 && epsilon == 1e-8;
   if (outcome.wall_case) {
-    // The session report must carry the compression evidence.
-    const bool counters_ok = run_report.counter(engine::kLowRankBlocksCounter) > 0 &&
-                             run_report.counter(engine::kPairsSkippedCounter) > 0 &&
-                             run_report.counter(engine::kCompressedStoredBytesCounter) > 0;
-    outcome.wall_ok = compression_ratio <= 0.40 && exact_pair_fraction <= 0.50 && counters_ok;
+    // The session report must carry the compression (and ordering) evidence.
+    bool counters_ok = run_report.counter(engine::kLowRankBlocksCounter) > 0 &&
+                       run_report.counter(engine::kPairsSkippedCounter) > 0 &&
+                       run_report.counter(engine::kCompressedStoredBytesCounter) > 0;
+    if (ordered) {
+      counters_ok = counters_ok && run_report.counter(engine::kOrderingsCounter) > 0 &&
+                    run_report.counter(engine::kOrderingLeavesCounter) > 0;
+    }
+    outcome.wall_ok = compression_ratio <= gates->max_ratio &&
+                      exact_pair_fraction <= gates->max_exact_pairs && counters_ok;
   }
 
   std::printf(
       "{\"bench\":\"hmatrix\",\"case\":\"%s\",\"elements\":%zu,\"dofs\":%zu,"
-      "\"epsilon\":%.1e,\"low_rank_blocks\":%zu,\"low_rank_tiles\":%zu,"
+      "\"epsilon\":%.1e,\"ordered\":%s,\"ordering_leaves\":%zu,"
+      "\"low_rank_blocks\":%zu,\"low_rank_tiles\":%zu,"
       "\"dense_tiles\":%zu,\"rank_mean\":%.2f,\"rank_max\":%zu,"
       "\"stored_bytes\":%zu,\"dense_bytes\":%zu,\"compression_ratio\":%.4f,"
       "\"pairs_near\":%zu,\"pairs_sampled\":%zu,\"pairs_skipped\":%zu,"
@@ -137,20 +191,21 @@ CaseOutcome run_compressed_case(const char* name, const bem::BemModel& model, do
       "\"solve_seconds\":%.6f,\"total_seconds\":%.6f,\"dense_seconds\":%.6f,"
       "\"parity_resistance\":%.3e,\"parity_touch\":%.3e,\"parity_step\":%.3e,"
       "\"hw_concurrency\":%zu,\"pool_threads\":%zu,\"peak_rss_kb\":%zu}\n",
-      name, model.element_count(), result.sigma.size(), epsilon, stats.low_rank_blocks,
-      stats.low_rank_tiles, stats.dense_tiles, stats.mean_rank(), stats.max_rank,
-      stats.stored_bytes, stats.dense_bytes, compression_ratio, far.pairs_near,
-      far.pairs_sampled, far.pairs_skipped, exact_pair_fraction,
-      run_report.wall_seconds(Phase::kMatrixGeneration),
+      name, model.element_count(), result.sigma.size(), epsilon, ordered ? "true" : "false",
+      result.ordering_stats.cluster_leaves, stats.low_rank_blocks, stats.low_rank_tiles,
+      stats.dense_tiles, stats.mean_rank(), stats.max_rank, stats.stored_bytes,
+      stats.dense_bytes, compression_ratio, far.pairs_near, far.pairs_sampled,
+      far.pairs_skipped, exact_pair_fraction, run_report.wall_seconds(Phase::kMatrixGeneration),
       run_report.wall_seconds(Phase::kLinearSolve), total_seconds, dense_seconds,
       parity_resistance, parity_touch, parity_step, par::hardware_threads(),
       engine.num_threads(), peak_rss_bytes() / 1024);
   return outcome;
 }
 
-/// Dense reference + both epsilons for one grid; folds gate outcomes into
-/// the flags.
-void run_grid(const char* name, std::size_t cells_x, std::size_t cells_y, bool& parity_ok,
+/// Dense reference + the family's epsilon sweep for one grid; folds gate
+/// outcomes into the flags.
+void run_grid(const char* name, std::size_t cells_x, std::size_t cells_y, bool ordered,
+              const GateSpec* gates, const std::vector<double>& epsilons, bool& parity_ok,
               bool& wall_ok, bool& wall_seen) {
   const bem::BemModel model = make_grid_model(cells_x, cells_y);
   const double extent_x = 5.0 * static_cast<double>(cells_x);
@@ -164,9 +219,9 @@ void run_grid(const char* name, std::size_t cells_x, std::size_t cells_y, bool& 
   const double dense_seconds = dense_timer.seconds();
   const SafetyQuantities reference = safety_quantities(model, dense, extent_x, extent_y);
 
-  for (const double epsilon : {1e-6, 1e-8}) {
+  for (const double epsilon : epsilons) {
     const CaseOutcome outcome = run_compressed_case(name, model, extent_x, extent_y, epsilon,
-                                                    reference, dense_seconds);
+                                                    ordered, gates, reference, dense_seconds);
     parity_ok = parity_ok && outcome.parity_ok;
     if (outcome.wall_case) {
       wall_seen = true;
@@ -180,12 +235,15 @@ void run_grid(const char* name, std::size_t cells_x, std::size_t cells_y, bool& 
 int main(int argc, char** argv) {
   std::vector<std::size_t> cells_list;
   std::size_t long_cells = 260;
+  std::size_t ordered_cells = 44;
   bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--long") == 0 && i + 1 < argc) {
       long_cells = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ordered") == 0 && i + 1 < argc) {
+      ordered_cells = std::strtoul(argv[++i], nullptr, 10);
     } else {
       cells_list.push_back(std::strtoul(argv[i], nullptr, 10));
     }
@@ -193,7 +251,8 @@ int main(int argc, char** argv) {
   if (cells_list.empty()) cells_list = {12, 24};
   for (const std::size_t cells : cells_list) {
     if (cells < 2) {
-      std::fprintf(stderr, "usage: bench_hmatrix [cells >= 2 ...] [--long N] [--check]\n");
+      std::fprintf(stderr,
+                   "usage: bench_hmatrix [cells >= 2 ...] [--long N] [--ordered N] [--check]\n");
       return 1;
     }
   }
@@ -202,10 +261,20 @@ int main(int argc, char** argv) {
   bool wall_ok = true;
   bool wall_seen = false;
   for (const std::size_t cells : cells_list) {
-    run_grid("square", cells, cells, parity_ok, wall_ok, wall_seen);
+    // In-place order: parity evidence plus the honest refuses-to-compress
+    // economics; no byte/pair wall by design.
+    run_grid("square", cells, cells, /*ordered=*/false, /*gates=*/nullptr, {1e-6, 1e-8},
+             parity_ok, wall_ok, wall_seen);
   }
   if (long_cells >= 2) {
-    run_grid("long", 8, long_cells, parity_ok, wall_ok, wall_seen);
+    run_grid("long", 8, long_cells, /*ordered=*/false, &kLongGates, {1e-6, 1e-8}, parity_ok,
+             wall_ok, wall_seen);
+  }
+  if (ordered_cells >= 2) {
+    // One epsilon only: the ordered sweep exists to gate the 1e-8 wall, and
+    // the dense reference already dominates this grid's wall time.
+    run_grid("square_ordered", ordered_cells, ordered_cells, /*ordered=*/true, &kOrderedGates,
+             {1e-8}, parity_ok, wall_ok, wall_seen);
   }
 
   if (check) {
@@ -216,8 +285,9 @@ int main(int argc, char** argv) {
     }
     if (wall_seen && !wall_ok) {
       std::fprintf(stderr,
-                   "bench_hmatrix: a >= 2000-element epsilon=1e-8 case missed the compression "
-                   "gates (<= 40%% stored bytes, <= 50%% exact pairs, counters reported)\n");
+                   "bench_hmatrix: a >= 2000-element epsilon=1e-8 wall case missed its "
+                   "family's compression gates (long: <= 40%% stored bytes and <= 50%% exact "
+                   "pairs; square_ordered: <= 60%% stored bytes; counters reported)\n");
       ok = false;
     }
     if (!ok) return 1;

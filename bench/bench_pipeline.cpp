@@ -20,6 +20,10 @@
 //                serial shim bit for bit) and to 1e-12 relative otherwise
 //                (the congruence cache and scatter reordering admit
 //                quantization-level drift, never more).
+//
+// The JSON lines feed CI's bench-regression gate (bench/compare_bench.py
+// vs bench/baselines/, pipelined wall time at matching pool_threads); see
+// bench/baselines/README.md for re-baselining.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>

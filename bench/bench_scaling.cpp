@@ -10,6 +10,10 @@
 //                the grid's own system is solved too, but a >=200-element
 //                grid yields only a few hundred DoFs, too small to show
 //                factorization scaling on its own)
+//
+// The JSON lines feed CI's bench-regression gate (bench/compare_bench.py
+// vs bench/baselines/, per-phase timings at matching pool_threads); see
+// bench/baselines/README.md for re-baselining.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>

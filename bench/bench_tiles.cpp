@@ -19,6 +19,10 @@
 //                   eviction/IO counters visible on an engine PhaseReport.
 //                Run under `ulimit -v` this proves the out-of-core path
 //                works beneath a real address-space cap.
+//
+// The JSON lines feed CI's bench-regression gate (bench/compare_bench.py
+// vs bench/baselines/, assembly timings at matching pool_threads); see
+// bench/baselines/README.md for re-baselining.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare current bench JSONL against a baseline.
+
+Every ebem bench emits one JSON object per line (JSONL). This script joins
+baseline and current records on a per-bench identity key and fails (exit 1)
+when a gated metric regressed by more than the tolerance (default 15%):
+
+  * timings        (assemble_seconds, seconds, ...)   -- lower is better
+  * compression_ratio / exact_pair_fraction           -- lower is better
+  * cache hit rates (hit_rate, warm_hit_rate)         -- higher is better
+
+Timing metrics are machine-shape dependent: every bench line carries
+hw_concurrency and pool_threads for exactly this reason. A timing metric is
+only compared when the baseline and current records ran at the *same
+pool_threads*; otherwise it is reported as skipped. Machine-independent
+quality metrics (compression ratio, pair fraction, hit rates) are always
+compared. Records present on only one side are reported but never fail the
+gate (grids and sweeps are allowed to grow).
+
+Usage:
+  compare_bench.py BASELINE.jsonl CURRENT.jsonl [more pairs ...]
+                   [--tolerance 0.15] [--verbose]
+
+Pairs: pass an even number of files, alternating baseline and current.
+Re-baselining: see bench/baselines/README.md.
+"""
+
+import argparse
+import json
+import sys
+
+# Identity key fields per bench family: everything that names a case, none
+# of the measured outputs.
+IDENTITY = {
+    "hmatrix": ("case", "elements", "epsilon"),
+    "cache": ("grid", "elements", "threads"),
+    "cache_warm": ("candidate", "cells"),
+    "scaling": ("phase", "threads", "elements"),
+    "tiles": ("case", "n", "tile", "residency_budget_bytes"),
+    "pipeline": ("candidates", "elements_max", "threads", "cache"),
+}
+
+# Gated metrics per bench family: (field, direction, is_timing).
+# direction "lower" fails when current > baseline * (1 + tol);
+# direction "higher" fails when current < baseline * (1 - tol).
+METRICS = {
+    "hmatrix": (
+        ("assemble_seconds", "lower", True),
+        ("compression_ratio", "lower", False),
+        ("exact_pair_fraction", "lower", False),
+    ),
+    "cache": (
+        ("seconds_on", "lower", True),
+        ("hit_rate", "higher", False),
+    ),
+    "cache_warm": (
+        ("warm_seconds", "lower", True),
+        ("warm_hit_rate", "higher", False),
+    ),
+    "scaling": (("seconds", "lower", True),),
+    "tiles": (("assemble_seconds", "lower", True),),
+    "pipeline": (("pipelined_seconds", "lower", True),),
+}
+
+# Below this absolute value a "lower is better" metric is treated as noise:
+# a 2 ms assembly doubling to 4 ms is scheduler jitter, not a regression.
+TIMING_FLOOR_SECONDS = 0.05
+
+
+def load_jsonl(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or not line.startswith("{"):
+                continue  # benches may interleave human-readable notes
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise SystemExit(f"{path}:{lineno}: not JSON: {error}")
+    return records
+
+
+def identity_of(record):
+    bench = record.get("bench")
+    key_fields = IDENTITY.get(bench)
+    if key_fields is None:
+        return None
+    return (bench,) + tuple(record.get(field) for field in key_fields)
+
+
+def index_records(records):
+    indexed = {}
+    for record in records:
+        key = identity_of(record)
+        if key is not None:
+            indexed[key] = record  # later lines win, like a re-run would
+    return indexed
+
+
+def compare_pair(baseline_path, current_path, tolerance, verbose):
+    baseline = index_records(load_jsonl(baseline_path))
+    current = index_records(load_jsonl(current_path))
+    failures = []
+    skipped = 0
+    compared = 0
+
+    for key, base in sorted(baseline.items(), key=repr):
+        cur = current.get(key)
+        name = "/".join(str(part) for part in key)
+        if cur is None:
+            print(f"  note: case {name} absent from current run")
+            continue
+        threads_match = base.get("pool_threads") == cur.get("pool_threads")
+        for field, direction, is_timing in METRICS[key[0]]:
+            if field not in base or field not in cur:
+                continue
+            if is_timing and not threads_match:
+                skipped += 1
+                if verbose:
+                    print(
+                        f"  skip: {name}.{field} (pool_threads "
+                        f"{base.get('pool_threads')} vs {cur.get('pool_threads')})"
+                    )
+                continue
+            base_value, cur_value = float(base[field]), float(cur[field])
+            if is_timing and max(base_value, cur_value) < TIMING_FLOOR_SECONDS:
+                continue
+            compared += 1
+            if direction == "lower":
+                regressed = cur_value > base_value * (1.0 + tolerance)
+            else:
+                regressed = cur_value < base_value * (1.0 - tolerance)
+            if regressed:
+                failures.append(
+                    f"{name}.{field}: baseline {base_value:.6g} -> current "
+                    f"{cur_value:.6g} ({direction} is better, tolerance "
+                    f"{tolerance:.0%})"
+                )
+            elif verbose:
+                print(f"  ok: {name}.{field} {base_value:.6g} -> {cur_value:.6g}")
+
+    print(
+        f"{baseline_path} vs {current_path}: {compared} metrics compared, "
+        f"{skipped} timing metrics skipped (pool_threads mismatch), "
+        f"{len(failures)} regressions"
+    )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="baseline/current JSONL pairs")
+    parser.add_argument("--tolerance", type=float, default=0.15)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+    if len(args.files) % 2 != 0:
+        parser.error("pass baseline/current files in pairs")
+
+    all_failures = []
+    for i in range(0, len(args.files), 2):
+        all_failures += compare_pair(
+            args.files[i], args.files[i + 1], args.tolerance, args.verbose
+        )
+    if all_failures:
+        print("bench regression gate FAILED:", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

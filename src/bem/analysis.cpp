@@ -15,6 +15,7 @@ AnalysisResult finish_analysis(AssemblyResult system, std::vector<double> sigma_
   result.matrix_tiles = system.matrix.tile_stats();
   result.compression = system.compression;
   result.far_field = system.far_field;
+  result.ordering_stats = system.ordering_stats;
   // I_Gamma = integral of sigma over the electrodes = nu . sigma (eq. 2.2),
   // evaluated at the normalized GPR and rescaled.
   const double normalized_current = la::dot(system.rhs, sigma_hat);
@@ -48,10 +49,14 @@ AnalysisResult analyze(const BemModel& model, const AnalysisOptions& options,
 
   wall.reset();
   cpu.reset();
-  // Normalized problem: R sigma_hat = nu with V_Gamma = 1.
+  // Normalized problem: R sigma_hat = nu with V_Gamma = 1. The matrix may be
+  // stored under a geometric DoF ordering; the solve handles the gather/
+  // scatter at its boundary, so sigma_hat comes back in external order.
   SolveStats solve_stats;
+  SolveExecution solve_execution = execution.solve;
+  solve_execution.ordering = system.ordering.get();
   std::vector<double> sigma_hat =
-      solve(system.matrix, system.rhs, execution.solver, execution.solve, &solve_stats);
+      solve(system.matrix, system.rhs, execution.solver, solve_execution, &solve_stats);
   if (report != nullptr) {
     report->add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
   }

@@ -51,6 +51,7 @@ struct AnalysisResult {
   la::TileStoreStats matrix_tiles;     ///< matrix-store pager counters from assembly
   la::CompressionStats compression;    ///< far-field compression outcome (zeros if disabled)
   FarFieldStats far_field;             ///< near/sampled/skipped pair split (zeros if disabled)
+  OrderingStats ordering_stats;        ///< geometric-ordering summary (zeros if disabled)
 };
 
 /// Run the analysis under an explicit execution plan. `report`, when

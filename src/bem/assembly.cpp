@@ -128,6 +128,21 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
   const auto& elements = model.elements();
 
   AssemblyResult result;
+  // Geometric ordering: cluster the DoFs before the matrix exists, so tile
+  // rows of the store land on the RCB leaf clusters. The permutation is the
+  // matrix boundary — entries scatter through it below, while result.rhs
+  // (and every caller-visible vector) stays in external order.
+  if (execution.storage.compression.ordering == la::DofOrdering::kGeometric) {
+    GeometricOrdering geometric =
+        geometric_ordering(model, basis, execution.storage.tile_size);
+    result.ordering_stats = geometric.stats;
+    result.ordering =
+        std::make_shared<const la::Permutation>(std::move(geometric.permutation));
+  }
+  const la::Permutation* perm = result.ordering.get();
+  const auto internal_dof = [perm](std::size_t dof) {
+    return perm != nullptr ? perm->to_internal(dof) : dof;
+  };
   result.matrix = la::SymMatrix(n, execution.storage);
   result.rhs = build_rhs(model, basis);
   result.element_pairs = m * (m + 1) / 2;
@@ -181,11 +196,13 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
     EBEM_ENSURE(compressed != nullptr,
                 "compression-enabled storage must be backed by a CompressedTileStore");
     const FarFieldPartition partition =
-        partition_far_field(model, basis, layout, execution.storage.compression);
+        partition_far_field(model, basis, layout, execution.storage.compression, perm);
     par::ThreadPool* build_pool = execution.backend == Backend::kThreadPool ? pool : nullptr;
     build_far_field(*compressed, model, basis, integrator, partition, build_pool,
-                    result.far_field);
+                    result.far_field, perm);
   }
+  // Takes *internal* (storage-order) indices — callers map through the
+  // permutation first, exactly once per entry.
   const auto entry_is_far = [&](std::size_t j, std::size_t i) {
     const std::size_t hi = std::max(i, j);
     const std::size_t lo = std::min(i, j);
@@ -195,9 +212,9 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
   const auto pair_is_far = [&](std::size_t beta, std::size_t alpha) {
     if (compressed == nullptr) return false;
     for (std::size_t p = 0; p < locals; ++p) {
-      const std::size_t j = model.global_dof(basis, beta, p);
+      const std::size_t j = internal_dof(model.global_dof(basis, beta, p));
       for (std::size_t q = 0; q < locals; ++q) {
-        if (!entry_is_far(j, model.global_dof(basis, alpha, q))) return false;
+        if (!entry_is_far(j, internal_dof(model.global_dof(basis, alpha, q)))) return false;
       }
     }
     return true;
@@ -223,8 +240,10 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
             integrator.element_pair(elements[beta], elements[alpha], cache, &hit);
         tally(hit);
         scatter(model, basis, beta, alpha, local, [&](std::size_t j, std::size_t i, double v) {
-          if (compressed != nullptr && entry_is_far(j, i)) return;
-          result.matrix.add(j, i, v);
+          const std::size_t jj = internal_dof(j);
+          const std::size_t ii = internal_dof(i);
+          if (compressed != nullptr && entry_is_far(jj, ii)) return;
+          result.matrix.add(jj, ii, v);
         });
       }
     }
@@ -249,8 +268,10 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
         integrator.element_pair(elements[beta], elements[alpha], cache, &hit);
     tally(hit);
     scatter(model, basis, beta, alpha, local, [&](std::size_t j, std::size_t i, double v) {
-      if (compressed != nullptr && entry_is_far(j, i)) return;
-      striped.add(j, i, v);
+      const std::size_t jj = internal_dof(j);
+      const std::size_t ii = internal_dof(i);
+      if (compressed != nullptr && entry_is_far(jj, ii)) return;
+      striped.add(jj, ii, v);
     });
   };
   if (execution.measure_column_costs) result.column_costs.assign(m, 0.0);

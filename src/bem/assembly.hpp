@@ -25,11 +25,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "src/bem/clustering.hpp"
 #include "src/bem/congruence_cache.hpp"
 #include "src/bem/far_field.hpp"
 #include "src/bem/integrator.hpp"
+#include "src/la/permutation.hpp"
 #include "src/la/sym_matrix.hpp"
 #include "src/parallel/schedule.hpp"
 #include "src/soil/hankel_kernel.hpp"
@@ -95,8 +98,13 @@ struct AssemblyExecution {
 };
 
 struct AssemblyResult {
-  la::SymMatrix matrix;         ///< R, dense symmetric positive definite
-  std::vector<double> rhs;      ///< nu_j = integral of w_j (paper eq. 4.6)
+  /// R, dense symmetric positive definite. With `ordering` set the rows and
+  /// columns are in the permutation's *internal* (storage) order; without
+  /// it they follow the model's DoF numbering as always.
+  la::SymMatrix matrix;
+  /// nu_j = integral of w_j (paper eq. 4.6) — always in *external* (model)
+  /// order; the solve paths gather it through `ordering` when needed.
+  std::vector<double> rhs;
   std::vector<double> column_costs;  ///< seconds per outer column, if measured
   std::size_t element_pairs = 0;
   /// Congruence-cache counters of *this assembly alone* (zeros when the
@@ -114,6 +122,13 @@ struct AssemblyResult {
   /// the near/sampled/skipped split of the element-pair bill.
   la::CompressionStats compression;
   FarFieldStats far_field;
+  /// The geometric DoF permutation the matrix was stored under, when
+  /// storage.compression.ordering == kGeometric (null otherwise). Shared so
+  /// downstream handles (FactoredSystem) can outlive this result. Pass it
+  /// as SolveExecution::ordering to solve against this matrix.
+  std::shared_ptr<const la::Permutation> ordering;
+  /// Cluster-tree summary of the ordering (zeros when ordering is null).
+  OrderingStats ordering_stats;
 };
 
 /// Generate the Galerkin system for the model under the given options and

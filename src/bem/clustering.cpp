@@ -1,0 +1,127 @@
+#include "src/bem/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace ebem::bem {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double coordinate(const geom::Vec3& p, int axis) {
+  return axis == 0 ? p.x : (axis == 1 ? p.y : p.z);
+}
+
+/// Axis of the box's largest extent; ties resolve to the lowest axis so the
+/// split choice (and with it the whole ordering) is deterministic.
+int widest_axis(const geom::Vec3& box_min, const geom::Vec3& box_max) {
+  const double dx = box_max.x - box_min.x;
+  const double dy = box_max.y - box_min.y;
+  const double dz = box_max.z - box_min.z;
+  if (dx >= dy && dx >= dz) return 0;
+  return dy >= dz ? 1 : 2;
+}
+
+}  // namespace
+
+std::vector<geom::Vec3> dof_positions(const BemModel& model, BasisKind basis) {
+  std::vector<geom::Vec3> positions(model.dof_count(basis));
+  const auto& elements = model.elements();
+  for (std::size_t e = 0; e < elements.size(); ++e) {
+    const BemElement& element = elements[e];
+    if (basis == BasisKind::kLinear) {
+      // Shared nodes are written once per incident element — same position
+      // every time, so the order of writes does not matter.
+      positions[element.node_a] = element.a;
+      positions[element.node_b] = element.b;
+    } else {
+      positions[model.global_dof(basis, e, 0)] = 0.5 * (element.a + element.b);
+    }
+  }
+  return positions;
+}
+
+GeometricOrdering geometric_ordering(const BemModel& model, BasisKind basis,
+                                     std::size_t tile_size) {
+  const std::vector<geom::Vec3> positions = dof_positions(model, basis);
+  const std::size_t n = positions.size();
+  // Same clamp as TileLayout, so leaf ranges land exactly on tile rows.
+  const std::size_t tile =
+      std::max<std::size_t>(1, std::min(tile_size, std::max<std::size_t>(1, n)));
+
+  GeometricOrdering ordering;
+  // order[i] = external DoF stored at internal slot i; starts as identity
+  // and is refined in place by the bisection below.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (n == 0) {
+    ordering.permutation = la::Permutation();
+    return ordering;
+  }
+
+  ClusterTree& tree = ordering.tree;
+  std::size_t max_depth = 0;
+
+  const auto build = [&](const auto& self, std::size_t begin, std::size_t end,
+                         std::size_t depth) -> std::size_t {
+    const std::size_t node_id = tree.nodes.size();
+    tree.nodes.push_back({});
+    {
+      ClusterNode& node = tree.nodes.back();
+      node.begin = begin;
+      node.end = end;
+      node.box_min = {kInf, kInf, kInf};
+      node.box_max = {-kInf, -kInf, -kInf};
+      for (std::size_t i = begin; i < end; ++i) {
+        const geom::Vec3& p = positions[order[i]];
+        node.box_min.x = std::min(node.box_min.x, p.x);
+        node.box_min.y = std::min(node.box_min.y, p.y);
+        node.box_min.z = std::min(node.box_min.z, p.z);
+        node.box_max.x = std::max(node.box_max.x, p.x);
+        node.box_max.y = std::max(node.box_max.y, p.y);
+        node.box_max.z = std::max(node.box_max.z, p.z);
+      }
+    }
+    max_depth = std::max(max_depth, depth);
+    if (end - begin <= tile) {
+      tree.leaves.push_back(node_id);
+      return node_id;
+    }
+
+    // Tile-aligned cardinality split: the left child takes floor(tiles / 2)
+    // whole tiles, so every node's begin stays a tile multiple and only the
+    // final leaf can be short — exactly TileLayout's row geometry.
+    const std::size_t tiles = (end - begin + tile - 1) / tile;
+    const std::size_t split = begin + (tiles / 2) * tile;
+    const int axis = widest_axis(tree.nodes[node_id].box_min, tree.nodes[node_id].box_max);
+    std::nth_element(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                     order.begin() + static_cast<std::ptrdiff_t>(split),
+                     order.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::size_t a, std::size_t b) {
+                       const double ca = coordinate(positions[a], axis);
+                       const double cb = coordinate(positions[b], axis);
+                       return ca != cb ? ca < cb : a < b;
+                     });
+    const std::size_t left = self(self, begin, split, depth + 1);
+    const std::size_t right = self(self, split, end, depth + 1);
+    tree.nodes[node_id].left = left;
+    tree.nodes[node_id].right = right;
+    return node_id;
+  };
+  build(build, 0, n, 0);
+
+  std::vector<std::size_t> internal_of_external(n);
+  for (std::size_t i = 0; i < n; ++i) internal_of_external[order[i]] = i;
+  ordering.permutation = la::Permutation(std::move(internal_of_external));
+  ordering.stats.cluster_leaves = tree.leaves.size();
+  ordering.stats.tree_depth = max_depth;
+  EBEM_ENSURE(tree.leaves.size() == (n + tile - 1) / tile,
+              "RCB leaves must coincide with the tile rows of the layout");
+  return ordering;
+}
+
+}  // namespace ebem::bem

@@ -1,0 +1,79 @@
+// Geometric DoF clustering: recursive coordinate bisection (RCB) of the DoF
+// support points into a binary cluster tree whose leaves are exactly the
+// tile rows of the matrix layout, plus the la::Permutation that maps the
+// model's DoF numbering onto that tree order.
+//
+// Why RCB over a Hilbert/Morton space-filling curve: the curve orders
+// points, but tile rows are then arbitrary *curve segments* — their boxes
+// can straddle curve discontinuities (a Hilbert segment crossing a fold has
+// a box far larger than its point set), and the segment boundaries ignore
+// the tile size entirely. RCB instead splits on DoF *cardinality* at exactly
+// tile-aligned counts: every tree node covers a whole number of tiles, every
+// leaf IS one tile row, and each split halves the widest box axis, so leaf
+// boxes are near-cubical regardless of the mesh's aspect ratio or numbering.
+// That is precisely the geometry the far-field admissibility gate (box
+// separation vs element length, far_field.hpp) wants to see — compact,
+// balanced clusters — and it makes the cluster tree deterministic: splits
+// use std::nth_element on (coordinate, DoF id), so equal coordinates break
+// ties by id and the ordering is reproducible across platforms and runs.
+//
+// The tree is returned alongside the permutation for the invariant tests
+// (leaves partition the DoF set, boxes contain their members) and for the
+// stats forwarded onto the engine PhaseReport.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/bem/element.hpp"
+#include "src/geom/vec3.hpp"
+#include "src/la/permutation.hpp"
+
+namespace ebem::bem {
+
+/// One node of the RCB cluster tree, covering the *internal* (permuted) DoF
+/// range [begin, end). Leaves cover exactly one tile row.
+struct ClusterNode {
+  static constexpr std::size_t kNoChild = static_cast<std::size_t>(-1);
+
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  geom::Vec3 box_min;  ///< bounding box of the member DoF support points
+  geom::Vec3 box_max;
+  std::size_t left = kNoChild;  ///< child node ids; kNoChild marks a leaf
+  std::size_t right = kNoChild;
+
+  [[nodiscard]] bool is_leaf() const { return left == kNoChild; }
+};
+
+/// The RCB tree over internal DoF ranges; nodes[0] is the root (when the
+/// model has any DoFs), children always appear after their parent.
+struct ClusterTree {
+  std::vector<ClusterNode> nodes;
+  std::vector<std::size_t> leaves;  ///< leaf node ids, ascending by begin
+};
+
+/// Summary of one geometric ordering, forwarded to the engine PhaseReport.
+struct OrderingStats {
+  std::size_t cluster_leaves = 0;  ///< leaf count == tile rows of the layout
+  std::size_t tree_depth = 0;      ///< root-to-leaf edge count (0 = leaf root)
+};
+
+/// Support point of every DoF: the element midpoint for the constant basis
+/// (one DoF per element), the shared node position for the linear basis.
+[[nodiscard]] std::vector<geom::Vec3> dof_positions(const BemModel& model, BasisKind basis);
+
+struct GeometricOrdering {
+  la::Permutation permutation;  ///< external (model) -> internal (tree) order
+  ClusterTree tree;
+  OrderingStats stats;
+};
+
+/// RCB-cluster the model's DoFs for a tile_size-tiled matrix layout. Leaves
+/// of the returned tree coincide with la::TileLayout(n, tile_size) tile
+/// rows, so far_field.hpp's tile-row clusters become the tree's leaf
+/// clusters once assembly scatters through the permutation.
+[[nodiscard]] GeometricOrdering geometric_ordering(const BemModel& model, BasisKind basis,
+                                                   std::size_t tile_size);
+
+}  // namespace ebem::bem

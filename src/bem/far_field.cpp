@@ -9,6 +9,7 @@
 #include "src/bem/pair_signature.hpp"
 #include "src/common/error.hpp"
 #include "src/la/aca.hpp"
+#include "src/la/permutation.hpp"
 #include "src/parallel/parallel_for.hpp"
 #include "src/parallel/schedule.hpp"
 #include "src/parallel/thread_pool.hpp"
@@ -63,12 +64,16 @@ struct Incidence {
   std::size_t local = 0;
 };
 
-std::vector<std::vector<Incidence>> build_incidence(const BemModel& model, BasisKind basis) {
+/// Incidence lists indexed by *internal* (storage-order) DoF when an
+/// ordering is supplied, so ACA samples address matrix rows directly.
+std::vector<std::vector<Incidence>> build_incidence(const BemModel& model, BasisKind basis,
+                                                    const la::Permutation* ordering) {
   std::vector<std::vector<Incidence>> incidence(model.dof_count(basis));
   const std::size_t locals = model.local_dof_count(basis);
   for (std::size_t e = 0; e < model.element_count(); ++e) {
     for (std::size_t l = 0; l < locals; ++l) {
-      incidence[model.global_dof(basis, e, l)].push_back({e, l});
+      const std::size_t dof = model.global_dof(basis, e, l);
+      incidence[ordering != nullptr ? ordering->to_internal(dof) : dof].push_back({e, l});
     }
   }
   return incidence;
@@ -93,9 +98,12 @@ double box_distance(const geom::Vec3& a_min, const geom::Vec3& a_max, const geom
 }
 
 std::vector<TileRowCluster> build_tile_row_clusters(const BemModel& model, BasisKind basis,
-                                                    const la::TileLayout& layout) {
+                                                    const la::TileLayout& layout,
+                                                    const la::Permutation* ordering) {
   EBEM_EXPECT(layout.n() == model.dof_count(basis),
               "tile layout dimension does not match the model's DoF count");
+  EBEM_EXPECT(ordering == nullptr || ordering->size() == layout.n(),
+              "DoF ordering dimension does not match the tile layout");
   constexpr double inf = std::numeric_limits<double>::infinity();
   std::vector<TileRowCluster> clusters(layout.tile_rows());
   for (TileRowCluster& c : clusters) {
@@ -106,7 +114,9 @@ std::vector<TileRowCluster> build_tile_row_clusters(const BemModel& model, Basis
   const auto& elements = model.elements();
   for (std::size_t e = 0; e < elements.size(); ++e) {
     for (std::size_t l = 0; l < locals; ++l) {
-      const std::size_t tile_row = layout.tile_of(model.global_dof(basis, e, l));
+      const std::size_t dof = model.global_dof(basis, e, l);
+      const std::size_t tile_row =
+          layout.tile_of(ordering != nullptr ? ordering->to_internal(dof) : dof);
       TileRowCluster& c = clusters[tile_row];
       c.elements.push_back(e);
       grow_box(c.box_min, c.box_max, elements[e].a);
@@ -130,10 +140,11 @@ bool clusters_admissible(const TileRowCluster& a, const TileRowCluster& b) {
 
 FarFieldPartition partition_far_field(const BemModel& model, BasisKind basis,
                                       const la::TileLayout& layout,
-                                      const la::CompressionConfig& compression) {
+                                      const la::CompressionConfig& compression,
+                                      const la::Permutation* ordering) {
   EBEM_EXPECT(compression.enabled(), "partition_far_field requires an enabled compression config");
   FarFieldPartition partition;
-  partition.clusters = build_tile_row_clusters(model, basis, layout);
+  partition.clusters = build_tile_row_clusters(model, basis, layout, ordering);
   const auto& clusters = partition.clusters;
 
   const auto dofs_in = [&layout](std::size_t tile_begin, std::size_t tile_end) {
@@ -334,14 +345,15 @@ void split_block(const FarBlock& fb, const la::TileLayout& layout,
 
 void build_far_field(la::CompressedTileStore& store, const BemModel& model, BasisKind basis,
                      const Integrator& integrator, const FarFieldPartition& partition,
-                     par::ThreadPool* pool, FarFieldStats& stats) {
+                     par::ThreadPool* pool, FarFieldStats& stats,
+                     const la::Permutation* ordering) {
   const la::TileLayout& layout = store.layout();
   const la::CompressionConfig& compression = store.config().compression;
   EBEM_EXPECT(compression.enabled(), "build_far_field requires a compression-enabled store");
   EBEM_EXPECT(partition.clusters.size() == layout.tile_rows(),
               "partition does not match the store's tile layout");
 
-  const std::vector<std::vector<Incidence>> incidence = build_incidence(model, basis);
+  const std::vector<std::vector<Incidence>> incidence = build_incidence(model, basis, ordering);
 
   // Wave loop: try every candidate (in parallel — each attempt touches only
   // its own buffers and results slot), install the accepted factors serially

@@ -1,9 +1,14 @@
 // Near/far partition of the Galerkin system and the ACA far-field builder —
 // what turns the compressed tile store into an H-matrix.
 //
-// Clusters are tile rows of the matrix layout: DoFs cannot be reordered
-// (the tile store addresses them in place), so a cluster is the set of
-// elements supporting a contiguous DoF range, with its axis-aligned
+// Clusters are tile rows of the matrix layout — in *storage* order: without
+// a DoF ordering a cluster is the set of elements supporting a contiguous
+// range of the model's own DoF numbering (a geometric slab on structured
+// grids); with CompressionConfig::ordering == kGeometric the optional
+// la::Permutation maps DoFs onto the RCB cluster tree of clustering.hpp
+// first, so every tile row is one *leaf cluster* of that tree — compact and
+// near-cubical regardless of mesh numbering, which is what makes square
+// grids compressible. Either way a cluster carries its axis-aligned
 // bounding box and longest member element. Two tile-row ranges are
 // *admissible* when their boxes pass the pair_signature separation
 // predicate — box distance at least kTransposeSeparationRatio times the
@@ -29,6 +34,10 @@
 #include "src/bem/integrator.hpp"
 #include "src/geom/vec3.hpp"
 #include "src/la/compressed_tile_store.hpp"
+
+namespace ebem::la {
+class Permutation;
+}  // namespace ebem::la
 
 namespace ebem::par {
 class ThreadPool;
@@ -73,9 +82,11 @@ struct FarFieldPartition {
                                   const geom::Vec3& b_min, const geom::Vec3& b_max);
 
 /// Cluster geometry of every tile row of `layout` (supports of its DoFs).
-[[nodiscard]] std::vector<TileRowCluster> build_tile_row_clusters(const BemModel& model,
-                                                                  BasisKind basis,
-                                                                  const la::TileLayout& layout);
+/// `ordering`, when non-null, maps each model DoF to its internal storage
+/// index first (tile rows then cover the geometric leaf clusters).
+[[nodiscard]] std::vector<TileRowCluster> build_tile_row_clusters(
+    const BemModel& model, BasisKind basis, const la::TileLayout& layout,
+    const la::Permutation* ordering = nullptr);
 
 /// The admissibility gate over two merged cluster ranges, exposed for the
 /// property tests: box separation against the longest element on either
@@ -87,15 +98,18 @@ struct FarFieldPartition {
 /// become candidates; everything else stays dense (near field).
 [[nodiscard]] FarFieldPartition partition_far_field(const BemModel& model, BasisKind basis,
                                                     const la::TileLayout& layout,
-                                                    const la::CompressionConfig& compression);
+                                                    const la::CompressionConfig& compression,
+                                                    const la::Permutation* ordering = nullptr);
 
 /// Run ACA over the candidates and install the accepted factors into
 /// `store`. Candidates that fail the rank budget are split and retried;
 /// blocks whose factors would not undercut their dense tiles stay dense.
 /// Parallel over blocks on `pool` (serial when null), deterministic either
-/// way. Accumulates pairs_sampled into `stats`.
+/// way. Accumulates pairs_sampled into `stats`. `ordering` must be the same
+/// permutation (or null) the partition's clusters were built with.
 void build_far_field(la::CompressedTileStore& store, const BemModel& model, BasisKind basis,
                      const Integrator& integrator, const FarFieldPartition& partition,
-                     par::ThreadPool* pool, FarFieldStats& stats);
+                     par::ThreadPool* pool, FarFieldStats& stats,
+                     const la::Permutation* ordering = nullptr);
 
 }  // namespace ebem::bem

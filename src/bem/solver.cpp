@@ -11,6 +11,18 @@ namespace ebem::bem {
 std::vector<double> solve(const la::SymMatrix& matrix, std::span<const double> rhs,
                           const SolverOptions& options, const SolveExecution& execution,
                           SolveStats* stats) {
+  if (execution.ordering != nullptr) {
+    // Permutation boundary: gather the external-order rhs into the matrix's
+    // internal order, run the plain solve there (residuals and iteration
+    // counts are permutation-invariant), scatter the solution back.
+    EBEM_EXPECT(execution.ordering->size() == rhs.size(),
+                "SolveExecution::ordering does not match the system size");
+    const std::vector<double> internal_rhs = execution.ordering->gather(rhs);
+    SolveExecution internal_execution = execution;
+    internal_execution.ordering = nullptr;
+    return execution.ordering->scatter(
+        solve(matrix, internal_rhs, options, internal_execution, stats));
+  }
   par::ThreadPool* pool =
       (execution.pool != nullptr && execution.pool->num_threads() > 1) ? execution.pool
                                                                        : nullptr;

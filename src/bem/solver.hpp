@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "src/la/permutation.hpp"
 #include "src/la/sym_matrix.hpp"
 
 namespace ebem::par {
@@ -48,6 +49,12 @@ struct SolveExecution {
   /// re-page of a spill-backed matrix — so callers that only want the cheap
   /// counters (factor_tiles) turn it off.
   bool measure_residual = true;
+  /// DoF ordering the matrix was assembled under (AssemblyResult::ordering),
+  /// or null when the matrix follows the model's numbering. When set, `rhs`
+  /// is taken in external order, gathered into the matrix's internal order
+  /// for the solve, and the solution is scattered back — callers see
+  /// external order on both sides, identical to the unordered path.
+  const la::Permutation* ordering = nullptr;
 };
 
 struct SolveStats {

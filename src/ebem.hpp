@@ -75,8 +75,28 @@
 // oblivious: checkout decompresses tiles on the fly, and Cholesky
 // densifies via la::copy_tiles. Block/rank/byte/pair counters land on the
 // session PhaseReport; bench/bench_hmatrix.cpp sweeps element count x
-// epsilon and gates the >= 2000-element case in CI (<= 40% stored bytes,
-// <= 50% exact pairs, parity within epsilon).
+// epsilon and gates the >= 2000-element trench case in CI (<= 40% stored
+// bytes, <= 50% exact pairs, parity within epsilon).
+//
+// Geometric DoF ordering (bem/clustering + la/permutation): the square-grid
+// caveat above is an *ordering* artifact, not a physics one — so
+// ExecutionConfig::storage.compression.ordering = la::DofOrdering::kGeometric
+// renumbers the DoFs by recursive coordinate bisection (bem::
+// geometric_ordering) before the matrix is created. RCB splits on DoF
+// cardinality at tile-aligned counts, so every cluster-tree leaf IS one
+// tile row and leaf boxes stay near-cubical on any mesh; the resulting
+// la::Permutation is applied once, at the matrix boundary: assembly
+// scatters entries through to_internal(), the solve paths gather the RHS
+// and scatter the solution back, and every caller-visible vector (rhs,
+// sigma, post-processing) stays in model order. SymMatrix, the tile
+// stores and Cholesky never see the permutation — an ordered matrix is
+// just a symmetric matrix over relabeled rows — and the ordering is
+// honored even at epsilon == 0 (dense but reordered), which is what the
+// Ordering* parity tests exploit. With it, the same square grid that
+// refuses to compress in place stores <= 60% of the dense bytes at
+// epsilon 1e-8 (bench/bench_hmatrix.cpp's square_ordered wall case, CI
+// gated); ordering counters (orderings, cluster leaves, tree depth) land
+// on the session PhaseReport.
 //
 // The bem:: free functions (analyze, assemble, solve) remain as serial
 // shims; their option structs carry physics only. Anything that runs more
@@ -86,6 +106,7 @@
 
 #include "src/bem/analysis.hpp"
 #include "src/bem/assembly.hpp"
+#include "src/bem/clustering.hpp"
 #include "src/bem/element.hpp"
 #include "src/bem/integrator.hpp"
 #include "src/bem/segment_integrals.hpp"
@@ -117,6 +138,7 @@
 #include "src/la/cg.hpp"
 #include "src/la/cholesky.hpp"
 #include "src/la/dense_matrix.hpp"
+#include "src/la/permutation.hpp"
 #include "src/la/sym_matrix.hpp"
 #include "src/la/tile_store.hpp"
 #include "src/parallel/parallel_for.hpp"

@@ -4,6 +4,7 @@
 // names live with their producer in src/bem/analysis.hpp.
 #pragma once
 
+#include "src/bem/clustering.hpp"
 #include "src/bem/far_field.hpp"
 #include "src/common/phase_report.hpp"
 #include "src/la/tile_store.hpp"
@@ -64,6 +65,23 @@ inline void add_compression_counters(PhaseReport& report, const la::CompressionS
   report.add_counter(kFarFieldRankSumCounter, static_cast<double>(stats.rank_sum));
   report.add_counter(kPairsSkippedCounter, static_cast<double>(far_field.pairs_skipped));
   report.add_counter(kPairsSampledCounter, static_cast<double>(far_field.pairs_sampled));
+}
+
+/// Geometric-ordering counters, folded per assembling run when
+/// ExecutionConfig::storage.compression.ordering == kGeometric. Additive
+/// like everything on a PhaseReport: leaves and depth accumulate as sums —
+/// divide either by the ordering count to recover a per-run mean.
+inline constexpr const char* kOrderingsCounter = "Geometric DoF orderings";
+inline constexpr const char* kOrderingLeavesCounter = "Ordering cluster leaves";
+inline constexpr const char* kOrderingDepthCounter = "Ordering tree depth (sum)";
+
+/// Fold one run's ordering summary into a report; unordered runs (no
+/// cluster leaves) contribute nothing.
+inline void add_ordering_counters(PhaseReport& report, const bem::OrderingStats& stats) {
+  if (stats.cluster_leaves == 0) return;
+  report.add_counter(kOrderingsCounter, 1.0);
+  report.add_counter(kOrderingLeavesCounter, static_cast<double>(stats.cluster_leaves));
+  report.add_counter(kOrderingDepthCounter, static_cast<double>(stats.tree_depth));
 }
 
 }  // namespace ebem::engine

@@ -184,6 +184,7 @@ bem::AssemblyResult Engine::assemble(const bem::BemModel& model,
   // analyze/factor paths do.
   add_tile_counters(report_, result.matrix_tiles);
   add_compression_counters(report_, result.compression, result.far_field);
+  add_ordering_counters(report_, result.ordering_stats);
   return result;
 }
 

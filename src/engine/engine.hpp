@@ -142,7 +142,11 @@ class Engine {
   [[nodiscard]] bem::AssemblyResult assemble(const bem::BemModel& model,
                                              const bem::AssemblyOptions& options = {});
 
-  /// Solve one assembled system under the config's solver policy.
+  /// Solve one assembled system under the config's solver policy. This is
+  /// the matrix-level entry: `rhs` must be in the matrix's own row order.
+  /// For a system assembled under a geometric DoF ordering, pass
+  /// AssemblyResult::ordering via bem::solve's SolveExecution (or use
+  /// analyze()/factor(), which handle the permutation boundary themselves).
   [[nodiscard]] std::vector<double> solve(const la::SymMatrix& matrix,
                                           std::span<const double> rhs,
                                           bem::SolveStats* stats = nullptr);

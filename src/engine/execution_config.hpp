@@ -87,6 +87,12 @@ struct ExecutionConfig {
   /// integrations; compression counters (blocks, stored vs dense bytes,
   /// rank sum, pairs skipped/sampled) land on the session PhaseReport.
   /// Compression and a spill residency budget are mutually exclusive.
+  /// Setting storage.compression.ordering = la::DofOrdering::kGeometric
+  /// additionally stores each matrix under an RCB geometric DoF clustering
+  /// (src/bem/clustering.hpp) — the permutation is applied and undone at
+  /// the matrix boundary, results stay in model order, and square grids
+  /// whose in-place DoF slabs refuse to compress become compressible;
+  /// ordering counters land on the session PhaseReport.
   la::StorageConfig storage;
 
   // --- instrumentation ---------------------------------------------------

@@ -8,20 +8,28 @@
 namespace ebem::engine {
 
 FactoredSystem::FactoredSystem(la::Cholesky factor, std::vector<double> rhs,
-                               par::ThreadPool* pool, PhaseReport* report)
-    : factor_(std::move(factor)), rhs_(std::move(rhs)), pool_(pool), report_(report) {}
+                               par::ThreadPool* pool, PhaseReport* report,
+                               std::shared_ptr<const la::Permutation> ordering)
+    : factor_(std::move(factor)),
+      rhs_(std::move(rhs)),
+      pool_(pool),
+      report_(report),
+      ordering_(std::move(ordering)) {}
 
 std::vector<double> FactoredSystem::solve() const { return solve(rhs_); }
 
 std::vector<double> FactoredSystem::solve(std::span<const double> rhs) const {
   if (report_ != nullptr) report_->add_counter(kRhsSolvedCounter, 1.0);
-  return factor_.solve(rhs);
+  if (ordering_ == nullptr) return factor_.solve(rhs);
+  return ordering_->scatter(factor_.solve(ordering_->gather(rhs)));
 }
 
 std::vector<double> FactoredSystem::solve_many(std::span<const double> rhs_block,
                                                std::size_t num_rhs) const {
   if (report_ != nullptr) report_->add_counter(kRhsSolvedCounter, static_cast<double>(num_rhs));
-  return factor_.solve_many(rhs_block, num_rhs, pool_);
+  if (ordering_ == nullptr) return factor_.solve_many(rhs_block, num_rhs, pool_);
+  return ordering_->scatter_block(
+      factor_.solve_many(ordering_->gather_block(rhs_block, num_rhs), num_rhs, pool_), num_rhs);
 }
 
 }  // namespace ebem::engine

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "src/la/cholesky.hpp"
+#include "src/la/permutation.hpp"
 
 namespace ebem {
 class PhaseReport;
@@ -28,9 +30,14 @@ namespace ebem::engine {
 class FactoredSystem {
  public:
   /// `pool` and `report` are borrowed (typically from the owning Engine,
-  /// which must outlive the handle); either may be null.
+  /// which must outlive the handle); either may be null. `ordering` is the
+  /// geometric DoF permutation the factored matrix was assembled under
+  /// (AssemblyResult::ordering) — with it set, every solve gathers its rhs
+  /// into the factor's internal order and scatters the solution back, so
+  /// the handle speaks external (model) order exactly like an unordered one.
   FactoredSystem(la::Cholesky factor, std::vector<double> rhs, par::ThreadPool* pool,
-                 PhaseReport* report);
+                 PhaseReport* report,
+                 std::shared_ptr<const la::Permutation> ordering = nullptr);
 
   [[nodiscard]] std::size_t size() const { return factor_.size(); }
 
@@ -54,9 +61,10 @@ class FactoredSystem {
 
  private:
   la::Cholesky factor_;
-  std::vector<double> rhs_;
+  std::vector<double> rhs_;  ///< external order, like every public vector
   par::ThreadPool* pool_;
   PhaseReport* report_;
+  std::shared_ptr<const la::Permutation> ordering_;
 };
 
 }  // namespace ebem::engine

@@ -1,6 +1,7 @@
 #include "src/engine/scheduler.hpp"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
 #include "src/common/error.hpp"
@@ -9,6 +10,7 @@
 #include "src/engine/engine.hpp"
 #include "src/la/blas1.hpp"
 #include "src/la/cholesky.hpp"
+#include "src/la/permutation.hpp"
 #include "src/parallel/thread_pool.hpp"
 
 namespace ebem::engine {
@@ -140,13 +142,14 @@ void stage_factor(RunState& run) {
   if (run.factor_only) {
     Engine& engine = *run.engine;
     run.factored.emplace(std::move(*run.factor), std::move(run.assembled->rhs), engine.pool(),
-                         &engine.report());
+                         &engine.report(), run.assembled->ordering);
     // Matrix-store counters cover assembly plus the factor copy-in; the
     // factor store keeps paging for the handle's lifetime and is counted at
     // this snapshot.
     add_tile_counters(run.report, run.assembled->matrix.tile_stats());
     add_tile_counters(run.report, run.factored->factor().tile_stats());
     add_compression_counters(run.report, run.assembled->compression, run.assembled->far_field);
+    add_ordering_counters(run.report, run.assembled->ordering_stats);
     run.factor.reset();
     run.assembled.reset();
   }
@@ -161,25 +164,36 @@ void stage_solve(RunState& run) {
   if (run.execution.solver.kind == bem::SolverKind::kCholesky) {
     // The factor stage already built L; substitute and optionally measure
     // the achieved residual — the same arithmetic bem::solve runs, split at
-    // the factorization so the O(N^3) part pipelined separately.
+    // the factorization so the O(N^3) part pipelined separately. Under a
+    // geometric ordering the factor and matrix live in internal order:
+    // gather the rhs, do everything there, scatter the solution at the end.
     const bem::SolveExecution& exec = run.execution.solve;
+    const la::Permutation* ordering = system.ordering.get();
     const la::Cholesky& factor = *run.factor;
-    sigma_hat = factor.solve(system.rhs);
+    std::vector<double> gathered_rhs;
+    std::span<const double> rhs = system.rhs;
+    if (ordering != nullptr) {
+      gathered_rhs = ordering->gather(system.rhs);
+      rhs = gathered_rhs;
+    }
+    std::vector<double> x = factor.solve(rhs);
     stats.iterations = 0;
     stats.factor_tiles = factor.tile_stats();
     if (exec.measure_residual) {
-      std::vector<double> r(system.rhs.begin(), system.rhs.end());
-      std::vector<double> ax(system.rhs.size());
-      system.matrix.multiply(sigma_hat, ax, exec.pool, exec.matvec_parallel_cutoff);
+      std::vector<double> r(rhs.begin(), rhs.end());
+      std::vector<double> ax(rhs.size());
+      system.matrix.multiply(x, ax, exec.pool, exec.matvec_parallel_cutoff);
       la::axpy(-1.0, ax, r);
-      const double b_norm = la::nrm2(system.rhs);
+      const double b_norm = la::nrm2(rhs);
       stats.relative_residual = b_norm > 0.0 ? la::nrm2(r) / b_norm : 0.0;
     }
+    sigma_hat = ordering != nullptr ? ordering->scatter(x) : std::move(x);
   } else {
     // Iterative path: no factor stage ran; this is exactly the blocking
-    // solve.
-    sigma_hat = bem::solve(system.matrix, system.rhs, run.execution.solver,
-                           run.execution.solve, &stats);
+    // solve (including its permutation boundary).
+    bem::SolveExecution exec = run.execution.solve;
+    exec.ordering = system.ordering.get();
+    sigma_hat = bem::solve(system.matrix, system.rhs, run.execution.solver, exec, &stats);
   }
   run.report.add(Phase::kLinearSolve, wall.seconds(), cpu.seconds());
 
@@ -192,6 +206,7 @@ void stage_solve(RunState& run) {
   add_tile_counters(run.report, result.matrix_tiles);
   add_tile_counters(run.report, result.solve_stats.factor_tiles);
   add_compression_counters(run.report, result.compression, result.far_field);
+  add_ordering_counters(run.report, result.ordering_stats);
   run.factor.reset();
   run.assembled.reset();
   run.analysis = std::move(result);

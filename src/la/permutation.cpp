@@ -1,0 +1,73 @@
+#include "src/la/permutation.hpp"
+
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace ebem::la {
+
+Permutation::Permutation(std::vector<std::size_t> internal_of_external)
+    : internal_of_external_(std::move(internal_of_external)) {
+  const std::size_t n = internal_of_external_.size();
+  external_of_internal_.assign(n, n);  // n marks "unassigned" during validation
+  for (std::size_t external = 0; external < n; ++external) {
+    const std::size_t internal = internal_of_external_[external];
+    EBEM_EXPECT(internal < n, "Permutation: index out of range");
+    EBEM_EXPECT(external_of_internal_[internal] == n,
+                "Permutation: duplicate internal index — the map is not a bijection");
+    external_of_internal_[internal] = external;
+  }
+}
+
+Permutation Permutation::identity(std::size_t n) {
+  std::vector<std::size_t> map(n);
+  std::iota(map.begin(), map.end(), std::size_t{0});
+  return Permutation(std::move(map));
+}
+
+bool Permutation::is_identity() const {
+  for (std::size_t i = 0; i < internal_of_external_.size(); ++i) {
+    if (internal_of_external_[i] != i) return false;
+  }
+  return true;
+}
+
+std::vector<double> Permutation::gather(std::span<const double> external) const {
+  EBEM_EXPECT(external.size() == size(), "Permutation::gather: vector length mismatch");
+  std::vector<double> internal(size());
+  for (std::size_t i = 0; i < size(); ++i) internal[i] = external[external_of_internal_[i]];
+  return internal;
+}
+
+std::vector<double> Permutation::scatter(std::span<const double> internal) const {
+  EBEM_EXPECT(internal.size() == size(), "Permutation::scatter: vector length mismatch");
+  std::vector<double> external(size());
+  for (std::size_t i = 0; i < size(); ++i) external[external_of_internal_[i]] = internal[i];
+  return external;
+}
+
+std::vector<double> Permutation::gather_block(std::span<const double> external,
+                                              std::size_t num_rhs) const {
+  EBEM_EXPECT(external.size() == size() * num_rhs,
+              "Permutation::gather_block: block length mismatch");
+  std::vector<double> internal(external.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::size_t src = external_of_internal_[i] * num_rhs;
+    for (std::size_t k = 0; k < num_rhs; ++k) internal[i * num_rhs + k] = external[src + k];
+  }
+  return internal;
+}
+
+std::vector<double> Permutation::scatter_block(std::span<const double> internal,
+                                               std::size_t num_rhs) const {
+  EBEM_EXPECT(internal.size() == size() * num_rhs,
+              "Permutation::scatter_block: block length mismatch");
+  std::vector<double> external(internal.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::size_t dst = external_of_internal_[i] * num_rhs;
+    for (std::size_t k = 0; k < num_rhs; ++k) external[dst + k] = internal[i * num_rhs + k];
+  }
+  return external;
+}
+
+}  // namespace ebem::la

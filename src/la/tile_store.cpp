@@ -25,6 +25,9 @@ void validate_storage_config(const StorageConfig& config, const char* context) {
   const CompressionConfig& compression = config.compression;
   EBEM_EXPECT(compression.epsilon >= 0.0 && std::isfinite(compression.epsilon),
               std::string(context) + ": storage.compression.epsilon must be finite and >= 0");
+  EBEM_EXPECT(compression.ordering == DofOrdering::kNone ||
+                  compression.ordering == DofOrdering::kGeometric,
+              std::string(context) + ": storage.compression.ordering is not a known DofOrdering");
   if (compression.enabled()) {
     EBEM_EXPECT(compression.min_block >= 1,
                 std::string(context) + ": storage.compression.min_block must be at least 1");

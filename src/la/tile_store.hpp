@@ -35,6 +35,17 @@
 
 namespace ebem::la {
 
+/// DoF ordering applied at the matrix boundary before tiling. The matrix
+/// then stores rows/columns in the chosen *internal* order while every
+/// caller-visible vector (RHS, solution) stays in the model's external
+/// order — the la::Permutation carried on the AssemblyResult is the seam.
+enum class DofOrdering {
+  kNone,       ///< keep the model's DoF numbering (tile rows = index slabs)
+  kGeometric,  ///< RCB cluster-tree order (bem::geometric_ordering): tile
+               ///< rows become compact spatial clusters, making far-field
+               ///< compressibility independent of the mesh numbering
+};
+
 /// Low-rank (H-matrix) compression policy of one symmetric matrix. Enabled
 /// by a positive epsilon; the matrix store then becomes a
 /// CompressedTileStore whose admissible far-field tile blocks hold U V^T
@@ -60,6 +71,11 @@ struct CompressionConfig {
   /// them is a coin flip that costs about what it could save. The default
   /// is tuned for 64-DoF tiles; tests and small-tile setups may lower it.
   std::size_t min_rank_budget = 48;
+  /// Storage-order policy. kGeometric is what makes *square* grids compress
+  /// (their in-place DoF slabs are high-rank); it is honored even with
+  /// epsilon == 0 — the matrix is then dense but spatially reordered, which
+  /// the permutation-parity tests rely on.
+  DofOrdering ordering = DofOrdering::kNone;
 
   [[nodiscard]] bool enabled() const { return epsilon > 0.0; }
 
