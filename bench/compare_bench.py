@@ -38,6 +38,7 @@ IDENTITY = {
     "scaling": ("phase", "threads", "elements"),
     "tiles": ("case", "n", "tile", "residency_budget_bytes"),
     "pipeline": ("candidates", "elements_max", "threads", "cache"),
+    "campaign": ("sweep", "scenarios", "cells", "width"),
 }
 
 # Gated metrics per bench family: (field, direction, is_timing).
@@ -60,6 +61,10 @@ METRICS = {
     "scaling": (("seconds", "lower", True),),
     "tiles": (("assemble_seconds", "lower", True),),
     "pipeline": (("pipelined_seconds", "lower", True),),
+    "campaign": (
+        ("seconds", "lower", True),
+        ("hit_rate", "higher", False),
+    ),
 }
 
 # Below this absolute value a "lower is better" metric is treated as noise:

@@ -1,0 +1,115 @@
+#include "src/campaign/damage_ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.hpp"
+#include "src/common/hash.hpp"
+
+namespace ebem::campaign {
+
+namespace {
+
+/// Counter hash of (seed, scenario, purpose, item) -> uniform in [0, 1).
+[[nodiscard]] double damage_unit(std::uint64_t seed, std::size_t scenario, std::uint64_t purpose,
+                                 std::size_t item) {
+  const std::uint64_t word =
+      splitmix64(hash_combine(hash_combine(hash_combine(seed, purpose), scenario), item));
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kPurposeSelect = 0x11;
+constexpr std::uint64_t kPurposeMode = 0x22;
+
+}  // namespace
+
+void DamageOptions::validate(std::size_t conductor_count) const {
+  EBEM_EXPECT(min_breaks >= 1 && min_breaks <= max_breaks,
+              "DamageOptions needs 1 <= min_breaks <= max_breaks");
+  EBEM_EXPECT(max_breaks < conductor_count,
+              "max_breaks must leave at least one conductor intact");
+  EBEM_EXPECT(removal_probability >= 0.0 && removal_probability <= 1.0,
+              "removal_probability must be in [0, 1]");
+  EBEM_EXPECT(gap_fraction > 0.0 && gap_fraction < 1.0,
+              "gap_fraction must be in (0, 1) so segmentation leaves two stubs");
+}
+
+DamageEnsemble::DamageEnsemble(std::vector<geom::Conductor> base, soil::LayeredSoil soil,
+                               DamageOptions options, std::size_t count, std::uint64_t seed)
+    : base_(std::move(base)), soil_(std::move(soil)), options_(options),
+      sampler_(seed, 1, count) {
+  EBEM_EXPECT(!base_.empty(), "DamageEnsemble needs a non-empty base design");
+  options_.validate(base_.size());
+}
+
+std::vector<ConductorBreak> DamageEnsemble::breaks(std::size_t index) const {
+  EBEM_EXPECT(index < size(), "damage scenario index out of range");
+  // Break count: stratified over the ensemble so every severity in
+  // [min_breaks, max_breaks] appears in near-equal proportion.
+  const double u = sampler_.uniform01(index, 0);
+  const std::size_t span = options_.max_breaks - options_.min_breaks + 1;
+  const std::size_t k =
+      options_.min_breaks +
+      std::min(span - 1, static_cast<std::size_t>(u * static_cast<double>(span)));
+
+  // Distinct conductors: the k smallest counter-hash keys. Scenario index is
+  // folded into every key, so different scenarios draw different subsets
+  // (collisions across scenarios are possible and harmless — two identical
+  // single-break scenarios are still valid samples of the damage space).
+  std::vector<std::size_t> order(base_.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     return damage_unit(seed(), index, kPurposeSelect, a) <
+                            damage_unit(seed(), index, kPurposeSelect, b);
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+
+  std::vector<ConductorBreak> result;
+  result.reserve(k);
+  for (const std::size_t conductor : order) {
+    const bool removed =
+        damage_unit(seed(), index, kPurposeMode, conductor) < options_.removal_probability;
+    result.push_back({conductor, removed});
+  }
+  return result;
+}
+
+std::vector<geom::Conductor> DamageEnsemble::scenario_conductors(std::size_t index) const {
+  const std::vector<ConductorBreak> damage = breaks(index);
+  std::vector<geom::Conductor> conductors;
+  conductors.reserve(base_.size() + damage.size());
+  std::size_t next_break = 0;
+  for (std::size_t c = 0; c < base_.size(); ++c) {
+    if (next_break < damage.size() && damage[next_break].conductor == c) {
+      const ConductorBreak& broken = damage[next_break];
+      ++next_break;
+      if (broken.removed) continue;
+      // Centered gap: keep the two stubs so the corroded joint still
+      // dissipates through the remaining metal.
+      const geom::Conductor& bar = base_[c];
+      const double lo = 0.5 * (1.0 - options_.gap_fraction);
+      const double hi = 0.5 * (1.0 + options_.gap_fraction);
+      const geom::Vec3 d = bar.b - bar.a;
+      conductors.push_back({bar.a, bar.a + lo * d, bar.radius});
+      conductors.push_back({bar.a + hi * d, bar.b, bar.radius});
+      continue;
+    }
+    conductors.push_back(base_[c]);
+  }
+  return conductors;
+}
+
+geom::Mesh DamageEnsemble::scenario_mesh(std::size_t index) const {
+  const std::vector<geom::Conductor> split =
+      bem::split_at_interfaces(scenario_conductors(index), soil_);
+  return geom::Mesh::build(split, options_.mesh);
+}
+
+bem::BemModel DamageEnsemble::scenario_model(std::size_t index) const {
+  return bem::BemModel(scenario_mesh(index), soil_);
+}
+
+}  // namespace ebem::campaign

@@ -1,0 +1,64 @@
+#include "src/campaign/soil_ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebem::campaign {
+
+SoilDistribution SoilDistribution::from_fit(const estimation::TwoLayerFit& fit) {
+  EBEM_EXPECT(fit.uncertainty_valid,
+              "SoilDistribution::from_fit: the Wenner fit carries no valid uncertainty "
+              "(need > 3 readings and a resolvable two-layer curve); use "
+              "SoilDistribution::relative instead");
+  SoilDistribution distribution;
+  distribution.nominal = fit.soil;
+  distribution.sigma_log_rho1 = fit.sigma_log_rho1;
+  distribution.sigma_log_rho2 = fit.sigma_log_rho2;
+  distribution.sigma_log_h = fit.sigma_log_h;
+  return distribution;
+}
+
+SoilDistribution SoilDistribution::relative(const soil::LayeredSoil& nominal, double rel_rho1,
+                                            double rel_rho2, double rel_h) {
+  EBEM_EXPECT(rel_rho1 >= 0.0 && rel_rho2 >= 0.0 && rel_h >= 0.0,
+              "relative parameter bands must be >= 0");
+  SoilDistribution distribution;
+  distribution.nominal = nominal;
+  distribution.sigma_log_rho1 = std::log1p(rel_rho1);
+  distribution.sigma_log_rho2 = std::log1p(rel_rho2);
+  distribution.sigma_log_h = std::log1p(rel_h);
+  return distribution;
+}
+
+void SoilDistribution::validate() const {
+  EBEM_EXPECT(nominal.layer_count() == 2,
+              "SoilDistribution needs a two-layer nominal soil (rho1, rho2, H)");
+  for (const double sigma : {sigma_log_rho1, sigma_log_rho2, sigma_log_h}) {
+    EBEM_EXPECT(std::isfinite(sigma) && sigma >= 0.0,
+                "lognormal sigmas must be finite and >= 0");
+  }
+  EBEM_EXPECT(truncate_sigmas > 0.0, "truncate_sigmas must be positive");
+}
+
+SoilEnsemble::SoilEnsemble(SoilDistribution distribution, std::size_t count, std::uint64_t seed)
+    : distribution_(distribution), sampler_(seed, 3, count) {
+  distribution_.validate();
+}
+
+soil::LayeredSoil SoilEnsemble::scenario(std::size_t index) const {
+  const double cap = distribution_.truncate_sigmas;
+  const auto deviate = [&](std::size_t dimension) {
+    return std::clamp(sampler_.normal(index, dimension), -cap, cap);
+  };
+  const double rho1 = distribution_.nominal.resistivity(0) *
+                      std::exp(distribution_.sigma_log_rho1 * deviate(0));
+  const double rho2 = distribution_.nominal.resistivity(1) *
+                      std::exp(distribution_.sigma_log_rho2 * deviate(1));
+  const double h =
+      distribution_.nominal.interface_depth(0) * std::exp(distribution_.sigma_log_h * deviate(2));
+  return soil::LayeredSoil::two_layer(1.0 / rho1, 1.0 / rho2, h);
+}
+
+}  // namespace ebem::campaign

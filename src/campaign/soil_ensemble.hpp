@@ -1,0 +1,78 @@
+// campaign::SoilEnsemble — stochastic two-layer soils around a fitted point.
+//
+// The paper's layered soil parameters are estimates: they come from Wenner
+// soundings through estimation::fit_two_layer, and the fit's residuals say
+// how well (rho1, rho2, H) are actually pinned down. A safety assessment
+// against the single fitted soil is a point answer to a distributional
+// question; this module generates the distribution — a deterministic,
+// seeded ensemble of two-layer soils sampled lognormally around the
+// nominal point, stratified per parameter by campaign::Sampler so small
+// campaigns already cover the marginals.
+//
+// Two ways to set the spread: SoilDistribution::from_fit ingests the
+// per-parameter sigmas the Wenner fit exposes (the honest option), and
+// SoilDistribution::relative sets ad-hoc +-X% bands when no sounding is
+// available. Sampling is lognormal in (rho1, rho2, H) — matching the fit's
+// log parameterization — with the normal deviate truncated at
+// +-truncate_sigmas so no scenario strays into unphysical territory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/campaign/sampler.hpp"
+#include "src/estimation/wenner.hpp"
+#include "src/soil/soil_model.hpp"
+
+namespace ebem::campaign {
+
+/// Lognormal spread of the two-layer parameters around a nominal soil.
+struct SoilDistribution {
+  soil::LayeredSoil nominal = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  double sigma_log_rho1 = 0.0;  ///< 1-sigma of log rho1
+  double sigma_log_rho2 = 0.0;  ///< 1-sigma of log rho2
+  double sigma_log_h = 0.0;     ///< 1-sigma of log H
+  /// Truncation of the sampled normal deviate (a bound/validation guard:
+  /// every scenario stays within exp(+-truncate_sigmas * sigma) of the
+  /// nominal parameter).
+  double truncate_sigmas = 3.0;
+
+  /// Spread from a Wenner fit's residual-based uncertainty; the nominal
+  /// point is the fitted soil. Throws ebem::InvalidArgument when the fit
+  /// carries no valid uncertainty (fit.uncertainty_valid == false) — fall
+  /// back to relative() bands in that case.
+  [[nodiscard]] static SoilDistribution from_fit(const estimation::TwoLayerFit& fit);
+
+  /// Ad-hoc spread: a +-X relative band per parameter maps to a lognormal
+  /// sigma of log(1 + X), e.g. relative(soil, 0.2, 0.2, 0.3) for +-20%
+  /// resistivities and +-30% layer depth at one sigma.
+  [[nodiscard]] static SoilDistribution relative(const soil::LayeredSoil& nominal,
+                                                 double rel_rho1, double rel_rho2, double rel_h);
+
+  /// Throws ebem::InvalidArgument unless the nominal soil is two-layer, all
+  /// sigmas are finite and >= 0, and the truncation is positive.
+  void validate() const;
+};
+
+/// A fixed-size, seeded ensemble of two-layer soils. scenario(i) is a pure
+/// function of (distribution, count, seed, i): any subset of scenarios can
+/// be re-generated independently, in any order, on any number of workers.
+class SoilEnsemble {
+ public:
+  /// Validates the distribution; throws ebem::InvalidArgument on a zero
+  /// count.
+  SoilEnsemble(SoilDistribution distribution, std::size_t count, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t size() const { return sampler_.count(); }
+  [[nodiscard]] std::uint64_t seed() const { return sampler_.seed(); }
+  [[nodiscard]] const SoilDistribution& distribution() const { return distribution_; }
+
+  /// The i-th sampled soil (deterministic).
+  [[nodiscard]] soil::LayeredSoil scenario(std::size_t index) const;
+
+ private:
+  SoilDistribution distribution_;
+  Sampler sampler_;
+};
+
+}  // namespace ebem::campaign

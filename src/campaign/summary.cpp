@@ -1,0 +1,162 @@
+#include "src/campaign/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace ebem::campaign {
+
+void StreamingMoments::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingMoments::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(std::max(m2_, 0.0) / static_cast<double>(count_ - 1));
+}
+
+namespace {
+
+/// Linearly interpolated order statistic of a sorted sample (the "R-7"
+/// definition: rank h = p (n-1), interpolated between floor and ceil).
+double sorted_quantile(const std::vector<double>& sorted, double p) {
+  EBEM_EXPECT(!sorted.empty(), "quantile of an empty sample");
+  EBEM_EXPECT(p >= 0.0 && p <= 1.0, "quantile probability must be in [0, 1]");
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+P2Quantile::P2Quantile(double probability) : probability_(probability) {
+  EBEM_EXPECT(probability > 0.0 && probability < 1.0,
+              "P2Quantile probability must be in (0, 1)");
+}
+
+void P2Quantile::add(double x) {
+  if (count_ < 5) {
+    // Warm-up: keep the first five observations sorted in heights_.
+    heights_[count_] = x;
+    ++count_;
+    std::sort(heights_.begin(), heights_.begin() + static_cast<std::ptrdiff_t>(count_));
+    if (count_ == 5) {
+      for (std::size_t i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+      desired_ = {1.0, 1.0 + 2.0 * probability_, 1.0 + 4.0 * probability_,
+                  3.0 + 2.0 * probability_, 5.0};
+    }
+    return;
+  }
+
+  // Locate the cell, updating the extreme markers in place.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  ++count_;
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  const std::array<double, 5> increments = {0.0, probability_ / 2.0, probability_,
+                                            (1.0 + probability_) / 2.0, 1.0};
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments[i];
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double gap_up = positions_[i + 1] - positions_[i];
+    const double gap_down = positions_[i - 1] - positions_[i];
+    if (!((d >= 1.0 && gap_up > 1.0) || (d <= -1.0 && gap_down < -1.0))) continue;
+    const double sign = d >= 0.0 ? 1.0 : -1.0;
+    // Piecewise-parabolic prediction; fall back to linear when it would
+    // break marker monotonicity.
+    const double parabolic =
+        heights_[i] +
+        sign / (positions_[i + 1] - positions_[i - 1]) *
+            ((positions_[i] - positions_[i - 1] + sign) * (heights_[i + 1] - heights_[i]) /
+                 gap_up +
+             (positions_[i + 1] - positions_[i] - sign) * (heights_[i] - heights_[i - 1]) /
+                 (positions_[i] - positions_[i - 1]));
+    if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+      heights_[i] = parabolic;
+    } else {
+      const std::size_t j = sign > 0.0 ? i + 1 : i - 1;
+      heights_[i] += sign * (heights_[j] - heights_[i]) /
+                     (positions_[j] - positions_[i]);
+    }
+    positions_[i] += sign;
+  }
+}
+
+double P2Quantile::value() const {
+  EBEM_EXPECT(count_ > 0, "P2Quantile::value before any observation");
+  if (count_ >= 5) return heights_[2];
+  const std::vector<double> prefix(heights_.begin(),
+                                   heights_.begin() + static_cast<std::ptrdiff_t>(count_));
+  return sorted_quantile(prefix, probability_);
+}
+
+MetricSummary::MetricSummary(QuantileMode mode) : mode_(mode) {
+  if (mode_ == QuantileMode::kP2) {
+    trackers_.reserve(kSummaryProbabilities.size());
+    for (const double p : kSummaryProbabilities) trackers_.emplace_back(p);
+  }
+}
+
+void MetricSummary::add(double x) {
+  moments_.add(x);
+  if (mode_ == QuantileMode::kExact) {
+    samples_.push_back(x);
+  } else {
+    for (P2Quantile& tracker : trackers_) tracker.add(x);
+  }
+}
+
+double MetricSummary::quantile(double p) const {
+  if (mode_ == QuantileMode::kExact) {
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted_quantile(sorted, p);
+  }
+  for (const P2Quantile& tracker : trackers_) {
+    if (tracker.probability() == p) return tracker.value();
+  }
+  throw InvalidArgument("kP2 summaries track only the kSummaryProbabilities quantiles");
+}
+
+std::optional<double> MetricSummary::confidence_half_width(double p, double z) const {
+  EBEM_EXPECT(p > 0.0 && p < 1.0, "confidence bound probability must be in (0, 1)");
+  EBEM_EXPECT(z > 0.0, "confidence bound z must be positive");
+  if (mode_ != QuantileMode::kExact) return std::nullopt;
+  const double n = static_cast<double>(samples_.size());
+  const double spread = z * std::sqrt(n * p * (1.0 - p));
+  const double lo_rank = std::floor(n * p - spread);  // 1-based ranks
+  const double hi_rank = std::ceil(n * p + spread) + 1.0;
+  if (lo_rank < 1.0 || hi_rank > n) return std::nullopt;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted[static_cast<std::size_t>(lo_rank) - 1];
+  const double hi = sorted[static_cast<std::size_t>(hi_rank) - 1];
+  return 0.5 * (hi - lo);
+}
+
+}  // namespace ebem::campaign

@@ -1,0 +1,113 @@
+// campaign::Summary — streaming distributional statistics of a campaign.
+//
+// A campaign reduces hundreds of per-scenario safety answers to a handful
+// of numbers: mean/stddev and the P5/P50/P95/P99 of equivalent resistance,
+// GPR and touch/step margins. Two quantile back-ends are provided:
+//
+//  * kExact keeps every observation and answers any quantile by linearly
+//    interpolated order statistic — O(n) memory, and the only mode that can
+//    also bound its own error (confidence_half_width uses the binomial
+//    order-statistic interval, which the runner's early-stop rule consumes);
+//  * kP2 is the Jain & Chlamtac P-squared estimator — five markers per
+//    tracked quantile, O(1) memory, for campaigns too large to buffer.
+//
+// Both are insertion-order-dependent in principle (P² genuinely, exact only
+// through ties in interpolation — it is order-independent in practice), so
+// campaign::Runner commits observations in scenario-index order regardless
+// of completion order; that is what makes campaign percentiles bit-identical
+// across worker counts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace ebem::campaign {
+
+/// Welford single-pass moments: numerically stable mean/stddev plus extrema.
+class StreamingMoments {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 below two observations.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// P-squared (Jain & Chlamtac 1985) streaming estimator of one quantile:
+/// five markers whose heights track the quantile through parabolic
+/// adjustment. Exact for the first five observations, O(1) memory after.
+class P2Quantile {
+ public:
+  /// Throws ebem::InvalidArgument unless 0 < probability < 1.
+  explicit P2Quantile(double probability);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double probability() const { return probability_; }
+  /// Current estimate; throws ebem::InvalidArgument before any observation.
+  [[nodiscard]] double value() const;
+
+ private:
+  double probability_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};    ///< marker heights (sorted prefix while count < 5)
+  std::array<double, 5> positions_{};  ///< actual marker positions, 1-based
+  std::array<double, 5> desired_{};    ///< desired marker positions
+};
+
+enum class QuantileMode {
+  kExact,  ///< buffer all observations; any quantile + confidence bound
+  kP2,     ///< O(1) memory; only the tracked quantiles, no bound
+};
+
+/// The campaign's reported quantiles, in probability order.
+inline constexpr std::array<double, 4> kSummaryProbabilities = {0.05, 0.50, 0.95, 0.99};
+
+/// One metric's streaming summary: moments plus the tracked quantiles.
+class MetricSummary {
+ public:
+  explicit MetricSummary(QuantileMode mode = QuantileMode::kExact);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return moments_.count(); }
+  [[nodiscard]] const StreamingMoments& moments() const { return moments_; }
+
+  /// Quantile estimate. kExact answers any 0 <= p <= 1; kP2 answers only
+  /// the probabilities in kSummaryProbabilities (throws otherwise). Throws
+  /// ebem::InvalidArgument before any observation.
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double p5() const { return quantile(0.05); }
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  /// Distribution-free half-width of the ~`z`-sigma confidence interval on
+  /// quantile `p`, from the binomial order-statistic bracket: half the
+  /// spread between the order statistics at ranks np -+ z sqrt(np(1-p)).
+  /// nullopt in kP2 mode or while either rank falls outside the sample —
+  /// i.e. while the data cannot yet bound that quantile at all.
+  [[nodiscard]] std::optional<double> confidence_half_width(double p, double z = 1.96) const;
+
+ private:
+  QuantileMode mode_;
+  StreamingMoments moments_;
+  std::vector<double> samples_;      ///< kExact only
+  std::vector<P2Quantile> trackers_; ///< kP2 only, one per kSummaryProbabilities
+};
+
+}  // namespace ebem::campaign

@@ -18,6 +18,38 @@
 //       candidates submitted as one pipelined batch on one warm Study
 //   post::PotentialEvaluator / assess_safety     — surface potentials, safety
 //   estimation::fit_two_layer                    — soil parameters from soundings
+//       (with per-parameter log-space uncertainties when the sounding has
+//       redundancy — TwoLayerFit::sigma_log_* / residual_sigma)
+//   campaign::Runner                             — scenario campaigns: stochastic
+//       soil + damage sweeps reduced to percentile safety reports
+//
+// Scenario campaigns (campaign/): one safety verdict against one fitted
+// soil is a point estimate; a campaign answers "how safe is this design
+// over what the site could plausibly be?". campaign::SoilEnsemble samples
+// two-layer soils around a fitted point with a seeded, counter-based
+// stratified sampler (no global RNG: scenario i is a pure function of
+// (seed, i), so ensembles re-generate exactly) — feed it
+// SoilDistribution::from_fit(fit) to propagate the Wenner inversion's own
+// uncertainty, or SoilDistribution::relative for hand-set spreads.
+// campaign::DamageEnsemble ablates the conductor network instead (removed
+// or segmented conductors, deterministically re-meshed per scenario).
+// campaign::Runner drives either source through engine::Study::submit with
+// a bounded in-flight window (backpressure: a 10k-scenario campaign holds
+// at most `window` assembled matrices), harvests futures in completion
+// order, and commits observations into streaming summaries strictly in
+// scenario-index order — which makes the reported P5/P50/P95/P99 of
+// R_eq, GPR and touch/step margins bit-identical across pipeline widths
+// for a fixed seed. Summaries are campaign::MetricSummary: exact
+// order-statistic quantiles with distribution-free confidence half-widths
+// (the runner's early-stop rule watches one of them), or O(1)-memory
+// P-squared markers for very large ensembles. Soil sweeps are the warm
+// cache's worst case (one physics drop per scenario — the cost shows up as
+// "Warm cache physics drops" / "Assembly gate wait seconds" on the
+// campaign's PhaseReport rollup); damage sweeps keep one physics and
+// replay the undamaged majority of the grid, so batch campaigns by
+// physics. examples/campaign.cpp is the walkthrough;
+// bench/bench_campaign.cpp measures both sweeps and gates the
+// width-determinism contract in CI.
 //
 // Asynchronous sessions (engine/): independent analyses — the paper's CAD
 // loop evaluating many nearby candidates — should be *submitted*, not run
@@ -114,6 +146,11 @@
 #include "src/cad/cases.hpp"
 #include "src/cad/design_search.hpp"
 #include "src/cad/grounding_system.hpp"
+#include "src/campaign/damage_ensemble.hpp"
+#include "src/campaign/runner.hpp"
+#include "src/campaign/sampler.hpp"
+#include "src/campaign/soil_ensemble.hpp"
+#include "src/campaign/summary.hpp"
 #include "src/common/error.hpp"
 #include "src/common/math_utils.hpp"
 #include "src/common/phase_report.hpp"

@@ -21,6 +21,16 @@ inline constexpr const char* kFactorizationsCounter = "Cholesky factorizations";
 /// factorization".
 inline constexpr const char* kRhsSolvedCounter = "Right-hand sides solved";
 
+/// Fingerprint-guard cost counters (Engine::begin_assembly). A run whose
+/// physics fingerprint differs from the warm cache's drains the in-flight
+/// assemblies and drops the warm entries before it starts; the drop count
+/// and the wall seconds spent parked at the gate quantify what a
+/// physics-changing workload (a campaign soil sweep is the worst case — a
+/// drop per scenario) pays for cache coherence. Physics-stable workloads
+/// (design ladders, damage sweeps) keep both at zero.
+inline constexpr const char* kCacheDropsCounter = "Warm cache physics drops";
+inline constexpr const char* kGateWaitSecondsCounter = "Assembly gate wait seconds";
+
 /// Tile-pager counters, summed over the matrix store and the Cholesky
 /// factor's working store of each run. All stay zero for fully resident
 /// (in-memory) storage; with an ExecutionConfig::storage residency budget

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "src/common/hash.hpp"
+#include "src/common/timer.hpp"
 #include "src/engine/counters.hpp"
 #include "src/soil/soil_model.hpp"
 
@@ -35,9 +36,10 @@ std::uint64_t physics_fingerprint(const soil::LayeredSoil& soil,
   return h;
 }
 
-AssemblyGate::AssemblyGate(Engine& engine, const std::optional<std::uint64_t>& fingerprint)
+AssemblyGate::AssemblyGate(Engine& engine, const std::optional<std::uint64_t>& fingerprint,
+                           PhaseReport* run_report)
     : engine_(engine) {
-  engine.begin_assembly(fingerprint);
+  engine.begin_assembly(fingerprint, run_report);
 }
 
 AssemblyGate::~AssemblyGate() { engine_.end_assembly(); }
@@ -66,9 +68,15 @@ Engine::~Engine() {
 Scheduler& Engine::scheduler() {
   const std::scoped_lock lock(scheduler_mutex_);
   if (scheduler_ == nullptr) {
-    scheduler_ = std::make_unique<Scheduler>(*this, config_.pipeline_width);
+    scheduler_ =
+        std::make_unique<Scheduler>(*this, config_.pipeline_width, config_.max_pending_runs);
   }
   return *scheduler_;
+}
+
+SchedulerStats Engine::scheduler_stats() {
+  const std::scoped_lock lock(scheduler_mutex_);
+  return scheduler_ != nullptr ? scheduler_->stats() : SchedulerStats{};
 }
 
 RunFuture Engine::submit(bem::BemModel model, const bem::AnalysisOptions& options,
@@ -102,7 +110,8 @@ void Engine::clear_cache() {
   cache_fingerprint_.reset();
 }
 
-void Engine::begin_assembly(const std::optional<std::uint64_t>& fingerprint) {
+void Engine::begin_assembly(const std::optional<std::uint64_t>& fingerprint,
+                            PhaseReport* run_report) {
   if (!cache_ || !fingerprint.has_value()) {
     // No shared warm state to keep coherent: admit unconditionally (the
     // counter still balances end_assembly and keeps clear_cache honest).
@@ -114,18 +123,33 @@ void Engine::begin_assembly(const std::optional<std::uint64_t>& fingerprint) {
   // A matching run joins the in-flight set immediately; a physics change
   // waits for the set to drain, then clears — so entries of the old physics
   // are never dropped (or replayed) mid-assembly.
-  gate_cv_.wait(lock, [&] {
+  const auto admissible = [&] {
     return active_assemblies_ == 0 ||
            (cache_fingerprint_.has_value() && *cache_fingerprint_ == *fingerprint);
-  });
+  };
+  double wait_seconds = 0.0;
+  if (!admissible()) {
+    const WallTimer wait_timer;
+    gate_cv_.wait(lock, admissible);
+    wait_seconds = wait_timer.seconds();
+  }
+  bool dropped = false;
   if (!cache_fingerprint_.has_value() || *cache_fingerprint_ != *fingerprint) {
     // Different physics, same geometry classes would replay wrong blocks:
     // drop the warm entries. The hit/miss counters survive — they are
     // session statistics; per-run deltas are tallied inside each assembly.
     cache_->drop_entries();
     cache_fingerprint_ = *fingerprint;
+    dropped = true;
   }
   ++active_assemblies_;
+  lock.unlock();
+  // Guard-cost accounting, outside the gate lock (the report has its own).
+  // Pipelined runs pay into their own report (merged into the session sink
+  // on completion); the blocking assemble path pays the session directly.
+  PhaseReport& sink = run_report != nullptr ? *run_report : report_;
+  if (dropped) sink.add_counter(kCacheDropsCounter, 1.0);
+  if (wait_seconds > 0.0) sink.add_counter(kGateWaitSecondsCounter, wait_seconds);
 }
 
 void Engine::end_assembly() {

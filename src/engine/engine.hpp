@@ -69,7 +69,13 @@ class Engine;
 /// unbalanced.
 class AssemblyGate {
  public:
-  AssemblyGate(Engine& engine, const std::optional<std::uint64_t>& fingerprint);
+  /// `run_report` (optional) receives the fingerprint-guard cost counters —
+  /// cache drops and gate wait seconds — instead of the engine's session
+  /// report, so per-run consumers (scheduler futures, campaign rollups) see
+  /// the guard cost they actually paid. The scheduler merges run reports
+  /// into the session sink on completion, so the totals still converge.
+  AssemblyGate(Engine& engine, const std::optional<std::uint64_t>& fingerprint,
+               PhaseReport* run_report = nullptr);
   ~AssemblyGate();
   AssemblyGate(const AssemblyGate&) = delete;
   AssemblyGate& operator=(const AssemblyGate&) = delete;
@@ -136,6 +142,12 @@ class Engine {
   /// Block until every run submitted so far is terminal.
   void drain();
 
+  /// Scheduler lifetime accounting: runs submitted and the peak number of
+  /// simultaneously non-terminal runs — what the ExecutionConfig::
+  /// max_pending_runs backpressure bound caps. Zeros before the first
+  /// submission (the scheduler is created lazily).
+  [[nodiscard]] SchedulerStats scheduler_stats();
+
   // --- blocking calls -----------------------------------------------------
 
   /// Assemble the Galerkin system against the shared pool and warm cache.
@@ -184,7 +196,7 @@ class Engine {
   /// stale entries and installs its fingerprint — the deferred clear the
   /// pipelining contract requires. Balanced by end_assembly(); always taken
   /// through the AssemblyGate RAII.
-  void begin_assembly(const std::optional<std::uint64_t>& fingerprint);
+  void begin_assembly(const std::optional<std::uint64_t>& fingerprint, PhaseReport* run_report);
   void end_assembly();
 
   /// The lazily created stage scheduler (spawning executor threads only

@@ -47,6 +47,16 @@ struct ExecutionConfig {
   /// which also bounds how many assembled matrices are alive at once).
   /// Must be >= 1; 1 serializes submitted runs in submission order.
   std::size_t pipeline_width = 2;
+  /// Bound on runs submitted but not yet terminal (queued + executing).
+  /// 0 keeps the historical unbounded queue; with a bound, submit() blocks
+  /// the submitting thread until a run retires — backpressure, so a loop
+  /// that submits thousands of scenarios cannot pile up thousands of queued
+  /// runs (each queued run holds its model copy, and the ready-queue's
+  /// stage preference only bounds *assembled matrices*, not queue entries).
+  /// Campaign-style drivers should set this to a small multiple of
+  /// pipeline_width; see campaign::Runner, which adds its own result-side
+  /// window on top.
+  std::size_t max_pending_runs = 0;
 
   // --- congruence cache --------------------------------------------------
   /// Keep one warm congruence cache across every assembly the Engine runs:

@@ -116,7 +116,7 @@ void stage_assemble(RunState& run) {
     // for in-flight assemblies to drain, then the stale entries are dropped
     // before ours starts. Factor/solve stages never touch the cache, so
     // they keep pipelining across the physics change.
-    const AssemblyGate gate(*run.engine, run.fingerprint);
+    const AssemblyGate gate(*run.engine, run.fingerprint, &run.report);
     assembled = bem::assemble(*run.model, run.options.assembly, run.execution.assembly);
   }
   run.report.add(Phase::kMatrixGeneration, wall.seconds(), cpu.seconds());
@@ -281,7 +281,8 @@ FactoredSystem FactorFuture::take() {
 
 // ----------------------------------------------------------- scheduler ---
 
-Scheduler::Scheduler(Engine& engine, std::size_t width) : engine_(engine) {
+Scheduler::Scheduler(Engine& engine, std::size_t width, std::size_t max_pending)
+    : engine_(engine), max_pending_(max_pending) {
   EBEM_EXPECT(width >= 1, "Scheduler needs at least one stage executor");
   executors_.reserve(width);
   for (std::size_t i = 0; i < width; ++i) {
@@ -325,14 +326,27 @@ std::shared_ptr<RunState> Scheduler::make_run(std::optional<bem::BemModel> owned
   run->engine = &engine_;
 
   {
-    const std::scoped_lock lock(mutex_);
+    std::unique_lock lock(mutex_);
+    // Backpressure: at the bound, park the submitting thread until a run
+    // retires. Executors never submit, so a waiting submitter cannot stall
+    // the drain that frees its slot.
+    if (max_pending_ > 0) {
+      submit_cv_.wait(lock, [&] { return outstanding_ < max_pending_; });
+    }
     run->sequence = next_sequence_++;
+    ++submitted_;
     ++outstanding_;
+    peak_outstanding_ = std::max(peak_outstanding_, outstanding_);
     ready_.push_back({run, kStageAssemble});
     std::push_heap(ready_.begin(), ready_.end(), task_before);
   }
   ready_cv_.notify_one();
   return run;
+}
+
+SchedulerStats Scheduler::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return {.submitted = submitted_, .peak_outstanding = peak_outstanding_};
 }
 
 RunFuture Scheduler::submit(bem::BemModel model, const bem::AnalysisOptions& options,
@@ -399,8 +413,7 @@ void Scheduler::execute_stage(const Task& task) {
       // finish_run would re-notify and must not merge anything; just settle
       // the bookkeeping.
       const std::scoped_lock qlock(mutex_);
-      --outstanding_;
-      if (outstanding_ == 0) drained_cv_.notify_all();
+      retire_locked();
       return;
     }
     run.status = RunStatus::kRunning;
@@ -449,9 +462,14 @@ void Scheduler::finish_run(const std::shared_ptr<RunState>& run, RunStatus statu
   run->cv.notify_all();
   {
     const std::scoped_lock lock(mutex_);
-    --outstanding_;
-    if (outstanding_ == 0) drained_cv_.notify_all();
+    retire_locked();
   }
+}
+
+void Scheduler::retire_locked() {
+  --outstanding_;
+  if (outstanding_ == 0) drained_cv_.notify_all();
+  if (max_pending_ > 0) submit_cv_.notify_one();
 }
 
 }  // namespace ebem::engine

@@ -144,12 +144,21 @@ class FactorFuture : public FutureBase {
   using FutureBase::FutureBase;
 };
 
+/// Lifetime accounting of a scheduler — what the backpressure bound and the
+/// campaign bench assert against.
+struct SchedulerStats {
+  std::uint64_t submitted = 0;        ///< runs accepted so far
+  std::size_t peak_outstanding = 0;   ///< max simultaneous non-terminal runs
+};
+
 /// The engine's stage scheduler. Owned by (and only constructible through)
 /// an Engine; public mainly so tests can name it. Destruction drains: every
 /// submitted run reaches a terminal state before the executors join.
 class Scheduler {
  public:
-  Scheduler(Engine& engine, std::size_t width);
+  /// `max_pending` bounds runs submitted but not yet terminal (0 =
+  /// unbounded): at the bound, submit blocks until a run retires.
+  Scheduler(Engine& engine, std::size_t width, std::size_t max_pending = 0);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -177,6 +186,10 @@ class Scheduler {
 
   [[nodiscard]] std::size_t width() const { return executors_.size(); }
 
+  /// Snapshot of the lifetime accounting (peak_outstanding is exact: it is
+  /// maintained under the same lock that admits submissions).
+  [[nodiscard]] SchedulerStats stats() const;
+
  private:
   struct Task {
     std::shared_ptr<detail::RunState> run;
@@ -194,13 +207,21 @@ class Scheduler {
   void execute_stage(const Task& task);
   void finish_run(const std::shared_ptr<detail::RunState>& run, RunStatus status);
 
-  Engine& engine_;
+  /// Called on both retirement paths (finish_run and the cancelled-before-
+  /// start bookkeeping) under mutex_; wakes drain() and bounded submitters.
+  void retire_locked();
 
-  std::mutex mutex_;
+  Engine& engine_;
+  std::size_t max_pending_ = 0;  ///< 0 = unbounded (immutable after ctor)
+
+  mutable std::mutex mutex_;
   std::condition_variable ready_cv_;    ///< executors: a task or stop arrived
   std::condition_variable drained_cv_;  ///< drain(): outstanding_ hit zero
+  std::condition_variable submit_cv_;   ///< bounded submit: a slot opened
   std::vector<Task> ready_;             ///< heap: later stages first, then FIFO
   std::size_t outstanding_ = 0;         ///< submitted runs not yet terminal
+  std::size_t peak_outstanding_ = 0;
+  std::uint64_t submitted_ = 0;
   std::uint64_t next_sequence_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> executors_;

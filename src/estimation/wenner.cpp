@@ -64,6 +64,59 @@ double misfit(const Params& p, const std::vector<WennerReading>& readings,
   return sum;
 }
 
+/// Finite-difference Jacobian of the log-residual vector in the 3 log
+/// parameters, at `p` with residuals `residuals` already evaluated there.
+la::DenseMatrix residual_jacobian(const Params& p, const std::vector<WennerReading>& readings,
+                                  const std::vector<double>& residuals) {
+  constexpr double kStep = 1e-6;
+  la::DenseMatrix jacobian(readings.size(), 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    Params q = p;
+    (c == 0 ? q.log_rho1 : c == 1 ? q.log_rho2 : q.log_h) += kStep;
+    std::vector<double> perturbed;
+    misfit(q, readings, &perturbed);
+    for (std::size_t k = 0; k < readings.size(); ++k) {
+      jacobian(k, c) = (perturbed[k] - residuals[k]) / kStep;
+    }
+  }
+  return jacobian;
+}
+
+/// Residual-based linearized uncertainty: covariance = s^2 (J^T J)^{-1} via
+/// the closed-form 3x3 inverse. Leaves the fit's uncertainty fields zeroed
+/// (uncertainty_valid == false) when there is no redundancy or J^T J is
+/// numerically singular.
+void attach_uncertainty(TwoLayerFit& fit, const Params& p,
+                        const std::vector<WennerReading>& readings,
+                        const std::vector<double>& residuals, double misfit_value) {
+  const std::size_t m = readings.size();
+  if (m <= 3) return;
+  const la::DenseMatrix jacobian = residual_jacobian(p, readings, residuals);
+  const la::DenseMatrix normal = jacobian.transpose_times_self();
+
+  // Adjugate inverse of the symmetric 3x3 normal matrix; the determinant
+  // threshold is relative to the diagonal scale so a resolved-but-soft
+  // parameter still passes while a flat curve (H unresolved) does not.
+  const double a = normal(0, 0), b = normal(0, 1), c = normal(0, 2);
+  const double d = normal(1, 1), e = normal(1, 2), f = normal(2, 2);
+  const double det =
+      a * (d * f - e * e) - b * (b * f - e * c) + c * (b * e - d * c);
+  const double scale = std::max({a, d, f, 1e-300});
+  if (!(std::abs(det) > 1e-12 * scale * scale * scale)) return;
+
+  const double inv00 = (d * f - e * e) / det;
+  const double inv11 = (a * f - c * c) / det;
+  const double inv22 = (a * d - b * b) / det;
+  if (inv00 < 0.0 || inv11 < 0.0 || inv22 < 0.0) return;
+
+  const double s2 = misfit_value / static_cast<double>(m - 3);
+  fit.residual_sigma = std::sqrt(s2);
+  fit.sigma_log_rho1 = std::sqrt(s2 * inv00);
+  fit.sigma_log_rho2 = std::sqrt(s2 * inv11);
+  fit.sigma_log_h = std::sqrt(s2 * inv22);
+  fit.uncertainty_valid = true;
+}
+
 }  // namespace
 
 TwoLayerFit fit_two_layer(const std::vector<WennerReading>& readings,
@@ -90,18 +143,7 @@ TwoLayerFit fit_two_layer(const std::vector<WennerReading>& readings,
   TwoLayerFit fit;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     fit.iterations = iter + 1;
-    // Finite-difference Jacobian in the 3 log parameters.
-    constexpr double kStep = 1e-6;
-    la::DenseMatrix jacobian(readings.size(), 3);
-    for (std::size_t c = 0; c < 3; ++c) {
-      Params q = p;
-      (c == 0 ? q.log_rho1 : c == 1 ? q.log_rho2 : q.log_h) += kStep;
-      std::vector<double> perturbed;
-      misfit(q, readings, &perturbed);
-      for (std::size_t k = 0; k < readings.size(); ++k) {
-        jacobian(k, c) = (perturbed[k] - residuals[k]) / kStep;
-      }
-    }
+    const la::DenseMatrix jacobian = residual_jacobian(p, readings, residuals);
     // Levenberg-Marquardt step: (J^T J + lambda I) dp = -J^T r.
     la::DenseMatrix normal = jacobian.transpose_times_self();
     std::vector<double> gradient(3);
@@ -137,6 +179,7 @@ TwoLayerFit fit_two_layer(const std::vector<WennerReading>& readings,
   fit.soil = p.soil();
   fit.rms_log_misfit = std::sqrt(current / static_cast<double>(readings.size()));
   if (!fit.converged) fit.converged = fit.rms_log_misfit < 1e-6;
+  attach_uncertainty(fit, p, readings, residuals, current);
   return fit;
 }
 

@@ -40,6 +40,24 @@ struct TwoLayerFit {
   double rms_log_misfit = 0.0;
   std::size_t iterations = 0;
   bool converged = false;
+
+  // Goodness of fit and per-parameter uncertainty, from the residuals at
+  // the converged point. The fit works in log parameters, so the sigmas are
+  // standard deviations of (log rho1, log rho2, log H) — exactly the
+  // lognormal spreads a campaign::SoilEnsemble samples from. They are the
+  // classical linearized estimates: residual variance
+  // s^2 = ||r||^2 / (m - 3), covariance s^2 (J^T J)^{-1} with J the
+  // Jacobian of the log-residuals at the solution.
+  /// Unbiased residual standard deviation s in log-resistivity space; 0 when
+  /// the problem has no redundancy (m <= 3).
+  double residual_sigma = 0.0;
+  double sigma_log_rho1 = 0.0;  ///< 1-sigma of log rho1
+  double sigma_log_rho2 = 0.0;  ///< 1-sigma of log rho2
+  double sigma_log_h = 0.0;     ///< 1-sigma of log H
+  /// True when the sigmas are meaningful: more than 3 readings and a
+  /// non-singular J^T J (a flat curve — equal layers — leaves H unresolved
+  /// and fails this).
+  bool uncertainty_valid = false;
 };
 
 /// Fit a two-layer model to Wenner readings. Needs >= 3 readings spanning

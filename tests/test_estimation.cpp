@@ -107,5 +107,74 @@ TEST(TwoLayerInversion, RejectsNonPositiveReadings) {
                ebem::InvalidArgument);
 }
 
+TEST(FitUncertainty, RecoversTheInjectedNoiseLevel) {
+  // Synthetic sounding with known 3% log-noise: the residual sigma must
+  // estimate that noise, the parameter sigmas must be positive/finite, and
+  // the truth must lie within a few combined sigmas of the fit.
+  const auto truth = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const double noise = 0.03;
+  const auto readings = synthetic_survey(truth, noise, 11);
+  const TwoLayerFit fit = fit_two_layer(readings);
+  ASSERT_TRUE(fit.converged);
+  ASSERT_TRUE(fit.uncertainty_valid);
+
+  // 9 readings, 3 parameters: s is a 6-dof noise estimate — loose bracket.
+  EXPECT_GT(fit.residual_sigma, 0.3 * noise);
+  EXPECT_LT(fit.residual_sigma, 3.0 * noise);
+
+  for (double sigma : {fit.sigma_log_rho1, fit.sigma_log_rho2, fit.sigma_log_h}) {
+    EXPECT_GT(sigma, 0.0);
+    EXPECT_TRUE(std::isfinite(sigma));
+  }
+  // Coverage: the generating parameters sit inside ~6-sigma intervals (the
+  // sigmas are themselves 6-dof estimates, so the bracket is generous).
+  EXPECT_LT(std::abs(std::log(truth.resistivity(0) / fit.soil.resistivity(0))),
+            6.0 * fit.sigma_log_rho1);
+  EXPECT_LT(std::abs(std::log(truth.resistivity(1) / fit.soil.resistivity(1))),
+            6.0 * fit.sigma_log_rho2);
+  EXPECT_LT(std::abs(std::log(truth.interface_depth(0) / fit.soil.interface_depth(0))),
+            6.0 * fit.sigma_log_h);
+}
+
+TEST(FitUncertainty, ScalesWithTheNoise) {
+  const auto truth = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const TwoLayerFit quiet = fit_two_layer(synthetic_survey(truth, 0.01, 5));
+  const TwoLayerFit loud = fit_two_layer(synthetic_survey(truth, 0.08, 5));
+  ASSERT_TRUE(quiet.uncertainty_valid);
+  ASSERT_TRUE(loud.uncertainty_valid);
+  EXPECT_GT(loud.residual_sigma, quiet.residual_sigma);
+  EXPECT_GT(loud.sigma_log_rho1, quiet.sigma_log_rho1);
+  EXPECT_GT(loud.sigma_log_h, quiet.sigma_log_h);
+}
+
+TEST(FitUncertainty, NoiseFreeDataGivesNearZeroSigmas) {
+  const auto truth = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  const TwoLayerFit fit = fit_two_layer(synthetic_survey(truth, 0.0, 1));
+  ASSERT_TRUE(fit.uncertainty_valid);
+  EXPECT_LT(fit.residual_sigma, 1e-4);
+  EXPECT_LT(fit.sigma_log_rho1, 1e-3);
+}
+
+TEST(FitUncertainty, IsInvalidWithoutRedundancy) {
+  // Exactly as many readings as parameters: zero residual degrees of
+  // freedom, so no noise estimate and no covariance.
+  const auto truth = soil::LayeredSoil::two_layer(0.005, 0.016, 1.0);
+  std::vector<WennerReading> three;
+  for (double a : {0.5, 2.0, 16.0}) {
+    three.push_back({a, wenner_apparent_resistivity(truth, a)});
+  }
+  const TwoLayerFit fit = fit_two_layer(three);
+  EXPECT_FALSE(fit.uncertainty_valid);
+}
+
+TEST(FitUncertainty, IsInvalidOnAFlatCurve) {
+  // Equal layers: the sounding carries no information about h (the Jacobian
+  // column for log h is ~0), J^T J is singular and the guard must refuse to
+  // report sigmas rather than invert noise.
+  const auto flat = soil::LayeredSoil::two_layer(0.01, 0.01, 2.0);
+  const TwoLayerFit fit = fit_two_layer(synthetic_survey(flat, 0.0, 1));
+  EXPECT_FALSE(fit.uncertainty_valid);
+}
+
 }  // namespace
 }  // namespace ebem::estimation

@@ -387,6 +387,55 @@ TEST(PhaseReportConcurrency, NamedCountersLoseNoIncrementsUnderThePool) {
               static_cast<double>(kThreads * kPerThread) * 1e-9, 1e-12);
 }
 
+TEST(SchedulerBackpressure, BoundedQueueCapsOutstandingRunsOverAThousandSubmits) {
+  // Regression guard for unbounded submission: with max_pending_runs set, a
+  // burst of 1000 submits must never hold more than the bound's worth of
+  // non-terminal runs (and their matrices) at once — submit() blocks until
+  // a run retires instead of queueing without limit.
+  constexpr std::size_t kBound = 4;
+  constexpr std::size_t kSubmits = 1000;
+  ExecutionConfig config;
+  config.num_threads = 1;
+  config.pipeline_width = 2;
+  config.max_pending_runs = kBound;
+  Engine engine(config);
+
+  const bem::BemModel model = bench_model(1);
+  std::vector<RunFuture> futures;
+  futures.reserve(kSubmits);
+  for (std::size_t i = 0; i < kSubmits; ++i) futures.push_back(engine.submit(model));
+  const double reference = futures.front().get().equivalent_resistance;
+  for (RunFuture& future : futures) {
+    EXPECT_DOUBLE_EQ(future.get().equivalent_resistance, reference);
+  }
+
+  const SchedulerStats stats = engine.scheduler_stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kSubmits));
+  EXPECT_GT(stats.peak_outstanding, 0u);
+  EXPECT_LE(stats.peak_outstanding, kBound);
+}
+
+TEST(SchedulerBackpressure, UnboundedConfigStillReportsStats) {
+  Engine engine;  // max_pending_runs = 0: historical unbounded behavior
+  EXPECT_EQ(engine.scheduler_stats().submitted, 0u);  // lazily created
+  std::vector<RunFuture> futures;
+  for (std::size_t i = 0; i < 8; ++i) futures.push_back(engine.submit(bench_model(1)));
+  engine.drain();
+  const SchedulerStats stats = engine.scheduler_stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  // All eight may be outstanding at once — the point of the default.
+  EXPECT_LE(stats.peak_outstanding, 8u);
+}
+
+TEST(SchedulerBackpressure, RejectsAWindowSmallerThanNothing) {
+  ExecutionConfig config;
+  config.max_pending_runs = 1;  // legal: fully serialized submission
+  Engine engine(config);
+  EXPECT_DOUBLE_EQ(engine.submit(bench_model(1)).get().equivalent_resistance,
+                   engine.analyze(bench_model(1)).equivalent_resistance);
+  EXPECT_LE(engine.scheduler_stats().peak_outstanding, 1u);
+}
+
 TEST(PhaseReportConcurrency, ConcurrentMergesIntoOneSinkAreAdditive) {
   // The engine's session report receives merge() from several executors at
   // once; every per-run report must land exactly once.
