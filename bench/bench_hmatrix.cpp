@@ -40,7 +40,10 @@
 //               family's GateSpec:
 //                * long (trench): <= 40% of dense bytes stored, <= 50% of
 //                  the exact element pairs integrated;
-//                * square_ordered: <= 60% of dense bytes stored;
+//                * square_ordered: <= 60% of dense bytes stored and a net
+//                  integration bill (near + sampled - replayed) <= 1.3x the
+//                  dense pair count — the congruence cache replays congruent
+//                  ACA samples instead of re-integrating them;
 //               and shows the compression (and, when ordered, ordering)
 //               counters on the engine PhaseReport.
 //
@@ -82,10 +85,12 @@ struct GateSpec {
 /// Trench wall: the backend must beat the dense pair bill *and* the dense
 /// bytes — slab tile rows are already compact clusters on this geometry.
 constexpr GateSpec kLongGates{.max_ratio = 0.40, .max_exact_pairs = 0.50};
-/// Ordered-square wall: the geometry-independence claim is about storage.
-/// The ACA still samples (and the profit gate refuses) many borderline
-/// blocks on this geometry, so the exact-pair bill is not gated here.
-constexpr GateSpec kOrderedGates{.max_ratio = 0.60, .max_exact_pairs = 10.0};
+/// Ordered-square wall: storage (the geometry-independence claim) *and* the
+/// exact-pair bill. ACA samples many borderline blocks on this geometry —
+/// historically a ~1.7x oversampling over the dense pair loop — but the
+/// congruence cache now replays congruent sampled pairs, so the net
+/// integration bill must stay below 1.3x dense.
+constexpr GateSpec kOrderedGates{.max_ratio = 0.60, .max_exact_pairs = 1.3};
 
 /// The engineering answers a compressed analysis must preserve.
 struct SafetyQuantities {
@@ -155,8 +160,10 @@ CaseOutcome run_compressed_case(const char* name, const bem::BemModel& model, do
   const double compression_ratio =
       static_cast<double>(stats.stored_bytes) /
       static_cast<double>(std::max<std::size_t>(1, stats.dense_bytes));
+  // Replayed samples cost a cached-transform apply, not an integration, so
+  // they come off the exact bill.
   const double exact_pair_fraction =
-      static_cast<double>(far.pairs_near + far.pairs_sampled) /
+      static_cast<double>(far.pairs_near + far.pairs_sampled - far.pairs_replayed) /
       static_cast<double>(std::max<std::size_t>(1, element_pairs));
   const double parity_resistance =
       rel_diff(quantities.equivalent_resistance, reference.equivalent_resistance);
@@ -187,6 +194,7 @@ CaseOutcome run_compressed_case(const char* name, const bem::BemModel& model, do
       "\"dense_tiles\":%zu,\"rank_mean\":%.2f,\"rank_max\":%zu,"
       "\"stored_bytes\":%zu,\"dense_bytes\":%zu,\"compression_ratio\":%.4f,"
       "\"pairs_near\":%zu,\"pairs_sampled\":%zu,\"pairs_skipped\":%zu,"
+      "\"pairs_replayed\":%zu,"
       "\"exact_pair_fraction\":%.4f,\"assemble_seconds\":%.6f,"
       "\"solve_seconds\":%.6f,\"total_seconds\":%.6f,\"dense_seconds\":%.6f,"
       "\"parity_resistance\":%.3e,\"parity_touch\":%.3e,\"parity_step\":%.3e,"
@@ -195,7 +203,8 @@ CaseOutcome run_compressed_case(const char* name, const bem::BemModel& model, do
       result.ordering_stats.cluster_leaves, stats.low_rank_blocks, stats.low_rank_tiles,
       stats.dense_tiles, stats.mean_rank(), stats.max_rank, stats.stored_bytes,
       stats.dense_bytes, compression_ratio, far.pairs_near, far.pairs_sampled,
-      far.pairs_skipped, exact_pair_fraction, run_report.wall_seconds(Phase::kMatrixGeneration),
+      far.pairs_skipped, far.pairs_replayed, exact_pair_fraction,
+      run_report.wall_seconds(Phase::kMatrixGeneration),
       run_report.wall_seconds(Phase::kLinearSolve), total_seconds, dense_seconds,
       parity_resistance, parity_touch, parity_step, par::hardware_threads(),
       engine.num_threads(), peak_rss_bytes() / 1024);
@@ -287,7 +296,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "bench_hmatrix: a >= 2000-element epsilon=1e-8 wall case missed its "
                    "family's compression gates (long: <= 40%% stored bytes and <= 50%% exact "
-                   "pairs; square_ordered: <= 60%% stored bytes; counters reported)\n");
+                   "pairs; square_ordered: <= 60%% stored bytes and <= 1.3x net exact pairs; "
+                   "counters reported)\n");
       ok = false;
     }
     if (!ok) return 1;

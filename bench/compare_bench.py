@@ -39,6 +39,7 @@ IDENTITY = {
     "tiles": ("case", "n", "tile", "residency_budget_bytes"),
     "pipeline": ("candidates", "elements_max", "threads", "cache"),
     "campaign": ("sweep", "scenarios", "cells", "width"),
+    "kernels": ("family", "mode", "cells", "threads"),
 }
 
 # Gated metrics per bench family: (field, direction, is_timing).
@@ -65,6 +66,9 @@ METRICS = {
         ("seconds", "lower", True),
         ("hit_rate", "higher", False),
     ),
+    # Parity (max_rel_diff_vs_scalar) is gated by bench_kernels --check, not
+    # here; the speedup ratio is ISA-dependent, so only raw time is gated.
+    "kernels": (("seconds", "lower", True),),
 }
 
 # Below this absolute value a "lower is better" metric is treated as noise:

@@ -199,7 +199,7 @@ AssemblyResult assemble(const BemModel& model, const AssemblyOptions& options,
         partition_far_field(model, basis, layout, execution.storage.compression, perm);
     par::ThreadPool* build_pool = execution.backend == Backend::kThreadPool ? pool : nullptr;
     build_far_field(*compressed, model, basis, integrator, partition, build_pool,
-                    result.far_field, perm);
+                    result.far_field, perm, cache);
   }
   // Takes *internal* (storage-order) indices — callers map through the
   // permutation first, exactly once per entry.

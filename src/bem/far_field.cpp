@@ -85,6 +85,7 @@ struct Attempt {
   bool converged = false;
   la::LowRankBlock block;
   std::size_t pairs_sampled = 0;
+  std::size_t pairs_replayed = 0;
 };
 
 }  // namespace
@@ -205,7 +206,8 @@ namespace {
 Attempt run_aca(const FarBlock& fb, const BemModel& model,
                 const std::vector<std::vector<Incidence>>& incidence,
                 const std::vector<TileRowCluster>& clusters, const Integrator& integrator,
-                const la::TileLayout& layout, const la::CompressionConfig& compression) {
+                const la::TileLayout& layout, const la::CompressionConfig& compression,
+                CongruenceCache* cache) {
   const auto& elements = model.elements();
   const std::size_t r0 = layout.row_begin(fb.row_tile_begin);
   const std::size_t r1 = layout.row_end(fb.row_tile_end - 1);
@@ -240,7 +242,8 @@ Attempt run_aca(const FarBlock& fb, const BemModel& model,
   const auto sample_col = [&](std::size_t col, double* out) {
     std::fill(out, out + (r1 - r0), 0.0);
     for (const Incidence& src : incidence[c0 + col]) {
-      integrator.element_pair_batch(elements[src.element], row_fields, row_blocks.data());
+      integrator.element_pair_batch(elements[src.element], row_fields, row_blocks.data(), cache,
+                                    &attempt.pairs_replayed);
       attempt.pairs_sampled += row_fields.size();
       for (std::size_t r = r0; r < r1; ++r) {
         double entry = 0.0;
@@ -256,7 +259,8 @@ Attempt run_aca(const FarBlock& fb, const BemModel& model,
   const auto sample_row = [&](std::size_t row, double* out) {
     std::fill(out, out + (c1 - c0), 0.0);
     for (const Incidence& src : incidence[r0 + row]) {
-      integrator.element_pair_batch(elements[src.element], col_fields, col_blocks.data());
+      integrator.element_pair_batch(elements[src.element], col_fields, col_blocks.data(), cache,
+                                    &attempt.pairs_replayed);
       attempt.pairs_sampled += col_fields.size();
       for (std::size_t c = c0; c < c1; ++c) {
         double entry = 0.0;
@@ -346,7 +350,7 @@ void split_block(const FarBlock& fb, const la::TileLayout& layout,
 void build_far_field(la::CompressedTileStore& store, const BemModel& model, BasisKind basis,
                      const Integrator& integrator, const FarFieldPartition& partition,
                      par::ThreadPool* pool, FarFieldStats& stats,
-                     const la::Permutation* ordering) {
+                     const la::Permutation* ordering, CongruenceCache* cache) {
   const la::TileLayout& layout = store.layout();
   const la::CompressionConfig& compression = store.config().compression;
   EBEM_EXPECT(compression.enabled(), "build_far_field requires a compression-enabled store");
@@ -367,7 +371,7 @@ void build_far_field(la::CompressedTileStore& store, const BemModel& model, Basi
     std::vector<Attempt> attempts(wave.size());
     const auto run = [&](std::size_t k) {
       attempts[k] = run_aca(wave[k], model, incidence, partition.clusters, integrator, layout,
-                            compression);
+                            compression, cache);
     };
     if (pool != nullptr && pool->num_threads() > 1 && wave.size() > 1) {
       par::parallel_for(*pool, wave.size(), par::Schedule::dynamic(1), run);
@@ -379,6 +383,7 @@ void build_far_field(la::CompressedTileStore& store, const BemModel& model, Basi
     for (std::size_t k = 0; k < wave.size(); ++k) {
       Attempt& attempt = attempts[k];
       stats.pairs_sampled += attempt.pairs_sampled;
+      stats.pairs_replayed += attempt.pairs_replayed;
       if (attempt.accepted) {
         store.install(std::move(attempt.block));
       } else if (!attempt.converged) {

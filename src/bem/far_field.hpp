@@ -46,12 +46,13 @@ class ThreadPool;
 namespace ebem::bem {
 
 /// Pair-work accounting of one compressed assembly. The exact-integration
-/// bill is pairs_near + pairs_sampled; pairs_skipped is what compression
-/// removed from the O(M^2) loop entirely.
+/// bill is pairs_near + pairs_sampled - pairs_replayed; pairs_skipped is
+/// what compression removed from the O(M^2) loop entirely.
 struct FarFieldStats {
-  std::size_t pairs_near = 0;     ///< pairs routed through the near-field loop
-  std::size_t pairs_sampled = 0;  ///< element-pair evaluations spent on ACA samples
-  std::size_t pairs_skipped = 0;  ///< pairs never integrated (covered by factors)
+  std::size_t pairs_near = 0;      ///< pairs routed through the near-field loop
+  std::size_t pairs_sampled = 0;   ///< element-pair evaluations spent on ACA samples
+  std::size_t pairs_skipped = 0;   ///< pairs never integrated (covered by factors)
+  std::size_t pairs_replayed = 0;  ///< sampled pairs served from the congruence cache
 };
 
 /// Geometry of one tile-row cluster: every element supporting a DoF of the
@@ -106,10 +107,16 @@ struct FarFieldPartition {
 /// blocks whose factors would not undercut their dense tiles stay dense.
 /// Parallel over blocks on `pool` (serial when null), deterministic either
 /// way. Accumulates pairs_sampled into `stats`. `ordering` must be the same
-/// permutation (or null) the partition's clusters were built with.
+/// permutation (or null) the partition's clusters were built with. A
+/// non-null `cache` replays congruent sampled pairs instead of
+/// re-integrating them (pairs_replayed counts the hits): ACA row/column
+/// samples revisit the same translated pair geometries across ranks and
+/// across overlapping split retries, so on structured grids most of the
+/// sampling bill collapses onto cached transforms.
 void build_far_field(la::CompressedTileStore& store, const BemModel& model, BasisKind basis,
                      const Integrator& integrator, const FarFieldPartition& partition,
                      par::ThreadPool* pool, FarFieldStats& stats,
-                     const la::Permutation* ordering = nullptr);
+                     const la::Permutation* ordering = nullptr,
+                     CongruenceCache* cache = nullptr);
 
 }  // namespace ebem::bem

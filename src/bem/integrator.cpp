@@ -1,5 +1,6 @@
 #include "src/bem/integrator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -14,31 +15,26 @@ namespace ebem::bem {
 
 namespace {
 
-/// One mirrored image of the source segment with its precomputed frame.
-struct TermFrame {
-  SegmentFrame frame;
-  double weight = 0.0;
-};
-
-/// Per-thread reusable image-frame workspace, keyed on the exact source
-/// geometry, kernel and layer pair. Building the frames is the per-pair
-/// setup cost of the analytic path (one make_segment_frame per image term);
-/// hoisting them into this thread_local buffer removes the churn from every
-/// element_pair call, and the key check turns consecutive evaluations
-/// against the same source — the batched entry point and every ACA
-/// row/column sample — into a single frame build per (source, field layer).
-struct FrameScratch {
-  std::vector<TermFrame> frames;
+/// Per-thread reusable image-sweep workspace, keyed on the exact source
+/// geometry, kernel, layer pair and mixed-precision knob. Building the
+/// sweep is the per-pair setup cost of the analytic path; hoisting it into
+/// this thread_local buffer removes the churn from every element_pair call,
+/// and the key check turns consecutive evaluations against the same source
+/// — the batched entry point and every ACA row/column sample — into a
+/// single build per (source, field layer).
+struct SweepScratch {
+  ImageSegmentSweep sweep;
   std::uint64_t kernel_epoch = 0;  ///< 0 never matches a live kernel
   geom::Vec3 a, b;
   double radius = -1.0;
+  double mixed_tail_threshold = -1.0;
   std::size_t source_layer = static_cast<std::size_t>(-1);
   std::size_t field_layer = static_cast<std::size_t>(-1);
 };
 
-const std::vector<TermFrame>& term_frames(const soil::ImageKernel& kernel,
-                                          const BemElement& source, std::size_t field_layer) {
-  thread_local FrameScratch scratch;
+const ImageSegmentSweep& term_sweep(const soil::ImageKernel& kernel, const BemElement& source,
+                                    std::size_t field_layer, double mixed_tail_threshold) {
+  thread_local SweepScratch scratch;
   // Exact comparisons on purpose: any difference rebuilds, a stale hit is
   // impossible (the kernel is identified by its process-unique epoch, not
   // its address), and the fixed-source case the batch/sampling paths
@@ -46,26 +42,62 @@ const std::vector<TermFrame>& term_frames(const soil::ImageKernel& kernel,
   const bool hit = scratch.kernel_epoch == kernel.epoch() &&
                    scratch.field_layer == field_layer &&
                    scratch.source_layer == source.layer && scratch.radius == source.radius &&
+                   scratch.mixed_tail_threshold == mixed_tail_threshold &&
                    scratch.a.x == source.a.x && scratch.a.y == source.a.y &&
                    scratch.a.z == source.a.z && scratch.b.x == source.b.x &&
                    scratch.b.y == source.b.y && scratch.b.z == source.b.z;
-  if (hit) return scratch.frames;
-  scratch.frames.clear();
+  if (hit) return scratch.sweep;
+  ImageSegmentSweep& sweep = scratch.sweep;
+  sweep.clear();
+  // Every image of the straight source segment shares its x/y geometry
+  // (images remap only z), so the whole family is one base plus three
+  // per-term scalars — no per-image make_segment_frame.
+  const geom::Vec3 axis = source.b - source.a;
+  const double length = geom::norm(axis);
+  EBEM_EXPECT(length > 0.0, "source segment must have positive length");
+  sweep.ax = source.a.x;
+  sweep.ay = source.a.y;
+  sweep.ux = axis.x / length;
+  sweep.uy = axis.y / length;
+  sweep.length = length;
+  sweep.radius2 = square(source.radius);
+  const double uz = axis.z / length;
   const auto& terms = kernel.terms(source.layer, field_layer);
-  scratch.frames.reserve(terms.size());
-  for (const soil::ImageTerm& term : terms) {
-    // Image of the straight source segment: same x/y, affine-mapped z.
-    const geom::Vec3 a{source.a.x, source.a.y, term.mirror * source.a.z + term.offset};
-    const geom::Vec3 b{source.b.x, source.b.y, term.mirror * source.b.z + term.offset};
-    scratch.frames.push_back({make_segment_frame(a, b, source.radius), term.weight});
+  sweep.az.reserve(terms.size());
+  sweep.muz.reserve(terms.size());
+  sweep.weight.reserve(terms.size());
+  const auto push = [&](const soil::ImageTerm& term) {
+    sweep.az.push_back(term.mirror * source.a.z + term.offset);
+    sweep.muz.push_back(term.mirror * uz);
+    sweep.weight.push_back(term.weight);
+  };
+  if (mixed_tail_threshold <= 0.0) {
+    for (const soil::ImageTerm& term : terms) push(term);
+    sweep.tail_begin = sweep.size();
+  } else {
+    // Partition: full-precision head first (original order), then the
+    // small-|weight| tail the sweep evaluates in single precision.
+    double max_weight = 0.0;
+    for (const soil::ImageTerm& term : terms) {
+      max_weight = std::max(max_weight, std::abs(term.weight));
+    }
+    const double cut = mixed_tail_threshold * max_weight;
+    for (const soil::ImageTerm& term : terms) {
+      if (std::abs(term.weight) >= cut) push(term);
+    }
+    sweep.tail_begin = sweep.size();
+    for (const soil::ImageTerm& term : terms) {
+      if (std::abs(term.weight) < cut) push(term);
+    }
   }
   scratch.kernel_epoch = kernel.epoch();
   scratch.a = source.a;
   scratch.b = source.b;
   scratch.radius = source.radius;
+  scratch.mixed_tail_threshold = mixed_tail_threshold;
   scratch.source_layer = source.layer;
   scratch.field_layer = field_layer;
-  return scratch.frames;
+  return scratch.sweep;
 }
 
 }  // namespace
@@ -87,14 +119,15 @@ std::array<double, 2> Integrator::inner_integrals(geom::Vec3 field_point,
   std::array<double, 2> result{0.0, 0.0};
 
   if (options_.inner == InnerIntegration::kAnalytic) {
-    for (const TermFrame& term : term_frames(*image_kernel_, source, field_layer)) {
-      const SegmentPotentials s = segment_potentials(term.frame, field_point);
-      if (options_.basis == BasisKind::kLinear) {
-        result[0] += term.weight * shape_start_integral(s, source.length);
-        result[1] += term.weight * shape_end_integral(s, source.length);
-      } else {
-        result[0] += term.weight * s.i0;
-      }
+    const ImageSegmentSweep& sweep =
+        term_sweep(*image_kernel_, source, field_layer, options_.mixed_tail_threshold);
+    const bool linear = options_.basis == BasisKind::kLinear;
+    if (options_.segment_eval == SegmentEval::kBatched) {
+      accumulate_image_sweep(sweep, &field_point.x, &field_point.y, &field_point.z, 1, linear,
+                             &result[0], &result[1]);
+    } else {
+      accumulate_image_sweep_reference(sweep, &field_point.x, &field_point.y, &field_point.z, 1,
+                                       linear, &result[0], &result[1]);
     }
     const double prefactor = image_kernel_->prefactor(source.layer);
     result[0] *= prefactor;
@@ -117,10 +150,23 @@ std::array<double, 2> Integrator::inner_integrals(geom::Vec3 field_point,
 
   const quad::Rule& rule = quad::cached_gauss_legendre(options_.inner_gauss_points);
   const double half = 0.5 * source.length;
+  // One batched kernel call for all inner nodes: kernels with vectorizable
+  // structure (the image series) sum their terms in SoA form per node, the
+  // rest fall back to the per-node virtual loop.
+  thread_local std::vector<geom::Vec3> xi_nodes;
+  thread_local std::vector<double> g_values;
+  xi_nodes.resize(rule.size());
+  g_values.resize(rule.size());
   for (std::size_t q = 0; q < rule.size(); ++q) {
     const double t = 0.5 * (1.0 + rule.nodes[q]);  // in [0, 1]
-    const geom::Vec3 xi = source.a + t * (source.b - source.a);
-    double g = kernel_.evaluate_regularized(field_point, xi, source.radius);
+    xi_nodes[q] = source.a + t * (source.b - source.a);
+  }
+  kernel_.evaluate_regularized_batch(field_point, xi_nodes.data(), rule.size(), source.radius,
+                                     g_values.data());
+  for (std::size_t q = 0; q < rule.size(); ++q) {
+    const double t = 0.5 * (1.0 + rule.nodes[q]);
+    const geom::Vec3& xi = xi_nodes[q];
+    double g = g_values[q];
     if (singular_strength != 0.0) {
       const double r_reg = std::sqrt(square(field_point.x - xi.x) + square(field_point.y - xi.y) +
                                      square(field_point.z - xi.z) + square(source.radius));
@@ -181,35 +227,34 @@ LocalMatrix Integrator::element_pair_analytic(const BemElement& field,
   const std::size_t points = rule.size();
   const double half = 0.5 * field.length;
 
-  // Per-thread scratch: outer Gauss points of the field element and the
-  // inner-integral accumulators, reused across the whole triangle loop.
-  thread_local std::vector<geom::Vec3> chi;
-  thread_local std::vector<double> acc0;
-  thread_local std::vector<double> acc1;
-  chi.resize(points);
-  acc0.assign(points, 0.0);
-  acc1.assign(points, 0.0);
+  // Per-thread scratch: outer Gauss points of the field element in SoA form
+  // and the inner-integral accumulators, reused across the triangle loop.
+  thread_local std::vector<double> scratch;
+  scratch.resize(5 * points);
+  double* xs = scratch.data();
+  double* ys = xs + points;
+  double* zs = ys + points;
+  double* acc0 = zs + points;
+  double* acc1 = acc0 + points;
+  std::fill(acc0, acc1 + points, 0.0);
   for (std::size_t q = 0; q < points; ++q) {
     const double t = 0.5 * (1.0 + rule.nodes[q]);
-    chi[q] = field.a + t * (field.b - field.a);
+    xs[q] = field.a.x + t * (field.b.x - field.a.x);
+    ys[q] = field.a.y + t * (field.b.y - field.a.y);
+    zs[q] = field.a.z + t * (field.b.z - field.a.z);
   }
 
-  // One SoA sweep per image term: the mirrored segment frames come from the
-  // per-thread workspace (built once per source and field layer, reused
-  // verbatim when the source repeats) and each is evaluated against every
-  // outer Gauss point, instead of rebuilding each image for every field
-  // point and every pair.
+  // One fused SIMD sweep over (image term x outer Gauss point): the image
+  // sweep comes from the per-thread workspace (built once per source and
+  // field layer, reused verbatim when the source repeats) and every term is
+  // applied to the whole Gauss-point batch before moving to the next image.
   const bool linear = options_.basis == BasisKind::kLinear;
-  for (const TermFrame& term : term_frames(*image_kernel_, source, field.layer)) {
-    for (std::size_t q = 0; q < points; ++q) {
-      const SegmentPotentials s = segment_potentials(term.frame, chi[q]);
-      if (linear) {
-        acc0[q] += term.weight * shape_start_integral(s, source.length);
-        acc1[q] += term.weight * shape_end_integral(s, source.length);
-      } else {
-        acc0[q] += term.weight * s.i0;
-      }
-    }
+  const ImageSegmentSweep& sweep =
+      term_sweep(*image_kernel_, source, field.layer, options_.mixed_tail_threshold);
+  if (options_.segment_eval == SegmentEval::kBatched) {
+    accumulate_image_sweep(sweep, xs, ys, zs, points, linear, acc0, acc1);
+  } else {
+    accumulate_image_sweep_reference(sweep, xs, ys, zs, points, linear, acc0, acc1);
   }
 
   const double prefactor = image_kernel_->prefactor(source.layer);
@@ -262,6 +307,26 @@ void Integrator::element_pair_batch(const BemElement& source,
   for (std::size_t k = 0; k < fields.size(); ++k) {
     out[k] = element_pair(*fields[k], source);
   }
+}
+
+void Integrator::element_pair_batch(const BemElement& source,
+                                    std::span<const BemElement* const> fields, LocalMatrix* out,
+                                    CongruenceCache* cache, std::size_t* replayed) const {
+  if (cache == nullptr) {
+    element_pair_batch(source, fields, out);
+    return;
+  }
+  // Same replay discipline as the cached element_pair: canonical signature
+  // first, integrate only the misses. The shared per-source workspace still
+  // amortizes across the misses of one batch, so a cold batch costs what the
+  // uncached entry does and a warm one costs only the signature lookups.
+  std::size_t hits = 0;
+  for (std::size_t k = 0; k < fields.size(); ++k) {
+    bool was_hit = false;
+    out[k] = element_pair(*fields[k], source, cache, &was_hit);
+    hits += was_hit ? 1 : 0;
+  }
+  if (replayed != nullptr) *replayed += hits;
 }
 
 std::array<double, 2> Integrator::potential_influence(geom::Vec3 x,

@@ -33,11 +33,30 @@ enum class InnerIntegration {
                 ///< works with any kernel; the multi-layer production path
 };
 
+/// Which segment-potential evaluator the analytic path runs. kBatched is the
+/// production SIMD path (structure-of-arrays, fused image sweep);
+/// kScalarReference is the original per-term, per-point asinh formulation,
+/// kept as an independent cross-check and as the bench_kernels "scalar"
+/// baseline. The two agree to <= 1e-12 relative at the assembly level.
+enum class SegmentEval {
+  kBatched,
+  kScalarReference,
+};
+
 struct IntegratorOptions {
   BasisKind basis = BasisKind::kLinear;
   InnerIntegration inner = InnerIntegration::kAnalytic;
   std::size_t outer_gauss_points = 8;
   std::size_t inner_gauss_points = 8;  ///< used only by InnerIntegration::kGauss
+  SegmentEval segment_eval = SegmentEval::kBatched;
+  /// Mixed-precision experiment, off at 0 (the default). When positive,
+  /// image terms whose |weight| falls below this fraction of the pair's
+  /// largest |weight| are evaluated in single precision and folded into the
+  /// double accumulators (see ImageSegmentSweep::tail_begin). At 1e-5 the
+  /// assembly-level deviation from the all-double path stays below ~1e-9
+  /// relative (the documented bound, asserted by tests) — measurably outside
+  /// the 1e-12 parity contract, which is why it is an opt-in experiment.
+  double mixed_tail_threshold = 0.0;
 
   friend bool operator==(const IntegratorOptions&, const IntegratorOptions&) = default;
 };
@@ -91,6 +110,17 @@ class Integrator {
   /// O(fields x image terms) frame constructions.
   void element_pair_batch(const BemElement& source,
                           std::span<const BemElement* const> fields, LocalMatrix* out) const;
+
+  /// Cache-aware batched entry: each field's congruence signature is looked
+  /// up before any sampling, so ACA row/column samples over congruent
+  /// geometry replay stored blocks instead of re-integrating — on ordered
+  /// grids most of the sampling bill. Misses are integrated with the shared
+  /// per-source workspace and inserted for the next congruent pair.
+  /// `replayed`, when non-null, is incremented by the number of fields
+  /// served from the cache.
+  void element_pair_batch(const BemElement& source,
+                          std::span<const BemElement* const> fields, LocalMatrix* out,
+                          CongruenceCache* cache, std::size_t* replayed = nullptr) const;
 
   /// Potential influence at point x of source element alpha's local DoFs
   /// (paper eq. 4.3): V(x) = sum_i sigma_i * coefficient_i.

@@ -130,6 +130,32 @@
 // gated); ordering counters (orderings, cluster leaves, tree depth) land
 // on the session PhaseReport.
 //
+// Batched SIMD kernels (bem/segment_integrals + common/simd.hpp): every
+// mitigation above helps *repeated* geometry; the batched kernel path makes
+// the cache misses themselves fast. The integrator evaluates the paper's
+// closed-form segment potentials in structure-of-arrays batches through a
+// branch-free, single-division log1p formulation that vectorizes under
+// `#pragma omp simd` (the library compiles with -fopenmp-simd; hot
+// functions are multiversioned via target_clones for AVX2/AVX-512), with
+// branch-free simd_log1p/simd_exp replacing serializing libm calls. The
+// fused image sweep picks its loop order by series length: layered-soil
+// sweeps (O(100) image terms) vectorize over the terms with register
+// accumulators per Gauss point, short uniform-soil sweeps over the points
+// — on the 312-element two-layer bench grid, cold assembly drops ~6x vs
+// the scalar asinh reference (bench/bench_kernels.cpp; the reference stays
+// selectable as IntegratorOptions::segment_eval for cross-checks, parity
+// <= 1e-12 CI-gated via bench_kernels --check). ACA far-field sampling now
+// also consults the congruence cache (FarFieldStats::pairs_replayed): on
+// ordered square grids ~99.9% of sampled pairs replay, cutting the
+// compressed backend's net pair bill below half of dense. The multi-layer
+// spectral kernel batches too — its per-lambda boundary system is
+// assembled symbolically once per evaluation and solved for whole
+// quadrature panels on per-thread workspaces (soil/hankel_kernel). An
+// opt-in mixed-precision experiment (IntegratorOptions::
+// mixed_tail_threshold) runs the small-weight image tail in single
+// precision, documented bound ~1e-9 at threshold 1e-5 — measurably outside
+// the 1e-12 parity contract, hence off by default.
+//
 // The bem:: free functions (analyze, assemble, solve) remain as serial
 // shims; their option structs carry physics only. Anything that runs more
 // than one analysis should hold an engine::Engine.

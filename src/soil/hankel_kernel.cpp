@@ -3,18 +3,127 @@
 #include <algorithm>
 #include <functional>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 #include "src/common/error.hpp"
 #include "src/common/math_utils.hpp"
-#include "src/la/dense_matrix.hpp"
+#include "src/common/simd.hpp"
 #include "src/quad/gauss.hpp"
 
 namespace ebem::soil {
 
 namespace {
+
 constexpr double kInfiniteDepth = std::numeric_limits<double>::infinity();
+
+/// Symbolic form of the per-lambda boundary system: every matrix, rhs and
+/// output entry is `scale * exp(lambda * args[arg])` with scale and the
+/// exponent coefficient fixed by the geometry (z_source, z_field, layer
+/// stack) — lambda only enters through the exponentials. Built once per
+/// evaluate_rho call; evaluated for whole panels of lambda nodes at a time.
+struct SpectralSystem {
+  struct MatrixEntry {
+    std::size_t row, col, arg;
+    double scale;
+  };
+  struct VectorEntry {
+    std::size_t index, arg;
+    double scale;
+  };
+
+  std::size_t n = 0;                 ///< unknowns: up_c all layers, dn_c all but last
+  std::vector<MatrixEntry> matrix;
+  std::vector<VectorEntry> rhs;
+  std::vector<VectorEntry> out;      ///< f_c(lambda) = sum of these over the solution
+  std::vector<double> args;          ///< distinct exponent coefficients (all finite, <= 0)
+
+  std::size_t arg_id(double k) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == k) return i;
+    }
+    args.push_back(k);
+    return args.size() - 1;
+  }
+};
+
+/// exp table fill: out[q] = exp(scale * lambdas[q]), the vectorized inner
+/// loop of the spectral batch (one sweep per distinct exponent coefficient).
+EBEM_SIMD_MULTIVERSION
+void exp_scaled_batch(double scale, const double* EBEM_RESTRICT lambdas, std::size_t count,
+                      double* EBEM_RESTRICT out) {
+  EBEM_SIMD_LOOP
+  for (std::size_t q = 0; q < count; ++q) out[q] = simd_exp(scale * lambdas[q]);
 }
+
+/// In-place Gaussian elimination with partial pivoting for the tiny (n <=
+/// 2 * layers - 1) boundary systems; solution lands in b. Allocation-free —
+/// the per-node replacement for the general la::solve_dense.
+void solve_small_inplace(double* a, double* b, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot = k;
+    double best = std::abs(a[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(a[i * n + k]);
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    EBEM_ENSURE(best > 0.0, "singular spectral boundary system");
+    if (pivot != k) {
+      for (std::size_t j = k; j < n; ++j) std::swap(a[k * n + j], a[pivot * n + j]);
+      std::swap(b[k], b[pivot]);
+    }
+    const double inv = 1.0 / a[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = a[i * n + k] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a[i * n + j] -= factor * a[k * n + j];
+      b[i] -= factor * b[k];
+    }
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    double sum = b[k];
+    for (std::size_t j = k + 1; j < n; ++j) sum -= a[k * n + j] * b[j];
+    b[k] = sum / a[k * n + k];
+  }
+}
+
+/// Evaluate f_c(lambda) for a batch of lambda nodes against one symbolic
+/// system: vectorized exponential tables, then one small in-place solve per
+/// node on thread-local scratch.
+void spectral_batch(const SpectralSystem& sys, const double* lambdas, std::size_t count,
+                    double* out) {
+  thread_local std::vector<double> exps;
+  thread_local std::vector<double> work;
+  exps.resize(sys.args.size() * count);
+  for (std::size_t a = 0; a < sys.args.size(); ++a) {
+    exp_scaled_batch(sys.args[a], lambdas, count, exps.data() + a * count);
+  }
+  const std::size_t n = sys.n;
+  work.resize(n * n + n);
+  double* matrix = work.data();
+  double* rhs = matrix + n * n;
+  for (std::size_t q = 0; q < count; ++q) {
+    std::memset(matrix, 0, n * (n + 1) * sizeof(double));
+    for (const SpectralSystem::MatrixEntry& e : sys.matrix) {
+      matrix[e.row * n + e.col] += e.scale * exps[e.arg * count + q];
+    }
+    for (const SpectralSystem::VectorEntry& e : sys.rhs) {
+      rhs[e.index] += e.scale * exps[e.arg * count + q];
+    }
+    solve_small_inplace(matrix, rhs, n);
+    double value = 0.0;
+    for (const SpectralSystem::VectorEntry& e : sys.out) {
+      value += rhs[e.index] * e.scale * exps[e.arg * count + q];
+    }
+    out[q] = value;
+  }
+}
+
+}  // namespace
 
 HankelKernel::HankelKernel(const LayeredSoil& soil, const HankelOptions& options)
     : soil_(soil), options_(options) {
@@ -35,73 +144,73 @@ HankelKernel::HankelKernel(const LayeredSoil& soil, const HankelOptions& options
   }
 }
 
-double HankelKernel::spectral_coefficient(double lambda, double z_source,
-                                          std::size_t source_layer, double z_field,
-                                          std::size_t field_layer) const {
-  const std::size_t c_count = soil_.layer_count();
-  const std::size_t n = 2 * c_count - 1;  // up_c for all layers, dn_c for all but last
+namespace {
+
+/// Assemble the symbolic boundary system. The scaled basis
+///   V_c(z) = up_c e^{lambda (z + top_c)} + dn_c e^{-lambda (z + bottom_c)}
+/// keeps every matrix entry in [-1, 1] regardless of lambda (no overflow),
+/// and makes every entry a fixed scale times exp(lambda * k): the exponent
+/// coefficients k depend only on geometry, so they are registered once here
+/// and tabulated per lambda batch. The last layer's dn basis (infinite
+/// bottom) is never referenced, so every registered k is finite.
+SpectralSystem build_spectral_system(const LayeredSoil& soil, const std::vector<double>& tops,
+                                     const std::vector<double>& bottoms, double z_source,
+                                     std::size_t source_layer, double z_field,
+                                     std::size_t field_layer) {
+  const std::size_t c_count = soil.layer_count();
+  SpectralSystem sys;
+  sys.n = 2 * c_count - 1;  // up_c for all layers, dn_c for all but last
 
   // Unknown layout: up_c at 2c, dn_c at 2c+1 (last layer has no dn).
   const auto up_index = [](std::size_t c) { return 2 * c; };
   const auto dn_index = [](std::size_t c) { return 2 * c + 1; };
+  const auto up_arg = [&](std::size_t c, double z) { return sys.arg_id(z + tops[c]); };
+  const auto dn_arg = [&](std::size_t c, double z) { return sys.arg_id(-(z + bottoms[c])); };
+  // Source term S(z) = e^{-lambda |z - z_source|}; its slope over lambda is
+  // sign * S with sign = -1 above the source, +1 below.
+  const auto source_arg = [&](double z) { return sys.arg_id(-std::abs(z - z_source)); };
+  const auto source_sign = [&](double z) { return z >= z_source ? -1.0 : 1.0; };
 
-  // Scaled basis: V_c(z) = up_c e^{lambda (z + top_c)} + dn_c e^{-lambda (z + bottom_c)}
-  // keeps every matrix entry in [-1, 1] regardless of lambda (no overflow).
-  const auto up_factor = [&](std::size_t c, double z) { return std::exp(lambda * (z + tops_[c])); };
-  const auto dn_factor = [&](std::size_t c, double z) {
-    return std::exp(-lambda * (z + bottoms_[c]));
-  };
-  const auto source_term = [&](std::size_t c, double z) {
-    return c == source_layer ? std::exp(-lambda * std::abs(z - z_source)) : 0.0;
-  };
-  // dS/dz divided by lambda.
-  const auto source_slope = [&](std::size_t c, double z) {
-    if (c != source_layer) return 0.0;
-    const double sign = z >= z_source ? -1.0 : 1.0;
-    return sign * std::exp(-lambda * std::abs(z - z_source));
-  };
-
-  la::DenseMatrix a(n, n);
-  std::vector<double> rhs(n, 0.0);
   std::size_t row = 0;
-
   // Surface Neumann condition at z = 0 (divided by lambda).
-  a(row, up_index(0)) = up_factor(0, 0.0);
-  if (c_count > 1) a(row, dn_index(0)) = -dn_factor(0, 0.0);
-  rhs[row] = -source_slope(0, 0.0);
+  sys.matrix.push_back({row, up_index(0), up_arg(0, 0.0), 1.0});
+  if (c_count > 1) sys.matrix.push_back({row, dn_index(0), dn_arg(0, 0.0), -1.0});
+  if (source_layer == 0) sys.rhs.push_back({row, source_arg(0.0), -source_sign(0.0)});
   ++row;
 
   // Interface conditions.
   for (std::size_t c = 0; c + 1 < c_count; ++c) {
-    const double z = -bottoms_[c];
+    const double z = -bottoms[c];
     const bool next_has_dn = (c + 2 < c_count);
     // Potential continuity: V_c(z) = V_{c+1}(z).
-    a(row, up_index(c)) = up_factor(c, z);
-    a(row, dn_index(c)) = dn_factor(c, z);
-    a(row, up_index(c + 1)) = -up_factor(c + 1, z);
-    if (next_has_dn) a(row, dn_index(c + 1)) = -dn_factor(c + 1, z);
-    rhs[row] = source_term(c + 1, z) - source_term(c, z);
+    sys.matrix.push_back({row, up_index(c), up_arg(c, z), 1.0});
+    sys.matrix.push_back({row, dn_index(c), dn_arg(c, z), 1.0});
+    sys.matrix.push_back({row, up_index(c + 1), up_arg(c + 1, z), -1.0});
+    if (next_has_dn) sys.matrix.push_back({row, dn_index(c + 1), dn_arg(c + 1, z), -1.0});
+    if (source_layer == c + 1) sys.rhs.push_back({row, source_arg(z), 1.0});
+    if (source_layer == c) sys.rhs.push_back({row, source_arg(z), -1.0});
     ++row;
     // Flux continuity: gamma_c V_c'(z) = gamma_{c+1} V_{c+1}'(z) (over lambda).
-    const double g0 = soil_.conductivity(c);
-    const double g1 = soil_.conductivity(c + 1);
-    a(row, up_index(c)) = g0 * up_factor(c, z);
-    a(row, dn_index(c)) = -g0 * dn_factor(c, z);
-    a(row, up_index(c + 1)) = -g1 * up_factor(c + 1, z);
-    if (next_has_dn) a(row, dn_index(c + 1)) = g1 * dn_factor(c + 1, z);
-    rhs[row] = g1 * source_slope(c + 1, z) - g0 * source_slope(c, z);
+    const double g0 = soil.conductivity(c);
+    const double g1 = soil.conductivity(c + 1);
+    sys.matrix.push_back({row, up_index(c), up_arg(c, z), g0});
+    sys.matrix.push_back({row, dn_index(c), dn_arg(c, z), -g0});
+    sys.matrix.push_back({row, up_index(c + 1), up_arg(c + 1, z), -g1});
+    if (next_has_dn) sys.matrix.push_back({row, dn_index(c + 1), dn_arg(c + 1, z), g1});
+    if (source_layer == c + 1) sys.rhs.push_back({row, source_arg(z), g1 * source_sign(z)});
+    if (source_layer == c) sys.rhs.push_back({row, source_arg(z), -g0 * source_sign(z)});
     ++row;
   }
-  EBEM_ENSURE(row == n, "boundary system row count mismatch");
+  EBEM_ENSURE(row == sys.n, "boundary system row count mismatch");
 
-  const std::vector<double> coeffs = la::solve_dense(std::move(a), std::move(rhs));
-
-  double value = coeffs[up_index(field_layer)] * up_factor(field_layer, z_field);
+  sys.out.push_back({up_index(field_layer), up_arg(field_layer, z_field), 1.0});
   if (field_layer + 1 < c_count) {
-    value += coeffs[dn_index(field_layer)] * dn_factor(field_layer, z_field);
+    sys.out.push_back({dn_index(field_layer), dn_arg(field_layer, z_field), 1.0});
   }
-  return value;
+  return sys;
 }
+
+}  // namespace
 
 double HankelKernel::evaluate(geom::Vec3 x, geom::Vec3 xi) const {
   const double rho = std::sqrt(square(x.x - xi.x) + square(x.y - xi.y));
@@ -148,16 +257,23 @@ double HankelKernel::evaluate_rho(double rho, double z_field, double z_source) c
 
   const quad::Rule& coarse = quad::cached_gauss_legendre(10);
   const quad::Rule& fine = quad::cached_gauss_legendre(20);
-  const auto integrand = [&](double lambda) {
-    const double f = spectral_coefficient(lambda, xi.z, b, x.z, c);
-    return rho > 0.0 ? f * std::cyl_bessel_j(0.0, lambda * rho) : f;
-  };
+  // One symbolic system per evaluation; each panel's nodes share its
+  // exponential tables (J0 stays scalar — the spectral solve dominates).
+  const SpectralSystem sys = build_spectral_system(soil_, tops_, bottoms_, xi.z, b, x.z, c);
   const auto quadrature = [&](const quad::Rule& rule, double a0, double b0) {
     const double mid = 0.5 * (a0 + b0);
     const double half = 0.5 * (b0 - a0);
+    thread_local std::vector<double> lambdas;
+    thread_local std::vector<double> values;
+    lambdas.resize(rule.size());
+    values.resize(rule.size());
+    for (std::size_t q = 0; q < rule.size(); ++q) lambdas[q] = mid + half * rule.nodes[q];
+    spectral_batch(sys, lambdas.data(), rule.size(), values.data());
     double sum = 0.0;
     for (std::size_t q = 0; q < rule.size(); ++q) {
-      sum += rule.weights[q] * integrand(mid + half * rule.nodes[q]);
+      const double f =
+          rho > 0.0 ? values[q] * std::cyl_bessel_j(0.0, lambdas[q] * rho) : values[q];
+      sum += rule.weights[q] * f;
     }
     return half * sum;
   };

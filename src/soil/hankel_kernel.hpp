@@ -40,7 +40,11 @@ class HankelKernel final : public PointKernel {
   explicit HankelKernel(const LayeredSoil& soil, const HankelOptions& options = {});
 
   /// Potential at x per unit point current at xi (both strictly below the
-  /// surface), including the 1/(4 pi gamma_b) prefactor.
+  /// surface), including the 1/(4 pi gamma_b) prefactor. The source must
+  /// not sit *exactly* on a layer interface: the boundary system evaluates
+  /// the one-sided source-slope sign at its own kink there and degenerates
+  /// to the trivial solution (a formulation edge, present since the
+  /// original per-lambda solve; perturb the depth by an ulp instead).
   [[nodiscard]] double evaluate(geom::Vec3 x, geom::Vec3 xi) const;
 
   /// Thin-wire regularization: the horizontal offset is inflated to
@@ -52,14 +56,15 @@ class HankelKernel final : public PointKernel {
   [[nodiscard]] const LayeredSoil& soil_model() const override { return soil_; }
 
  private:
-  /// Solve the per-lambda boundary system; returns the secondary-potential
-  /// coefficient amplitude f_c(lambda) for the field layer c, normalized so
-  /// that V_secondary = prefactor * Integral f_c J0(lambda rho) d lambda.
-  [[nodiscard]] double spectral_coefficient(double lambda, double z_source,
-                                            std::size_t source_layer, double z_field,
-                                            std::size_t field_layer) const;
-
-  /// Axisymmetric evaluation at horizontal offset rho.
+  /// Axisymmetric evaluation at horizontal offset rho. The per-lambda
+  /// boundary system (secondary-potential coefficient f_c(lambda),
+  /// normalized so V_secondary = prefactor * Integral f_c J0(lambda rho)
+  /// d lambda) is assembled symbolically once per evaluation — every matrix,
+  /// rhs and output entry is a constant scale times exp(lambda * k) for a
+  /// fixed coefficient k — and then evaluated for a whole quadrature
+  /// panel's lambda nodes at a time: the exponential tables are filled with
+  /// one vectorized sweep per coefficient and each node's small dense system
+  /// is solved in place on a per-thread workspace (no allocation per node).
   [[nodiscard]] double evaluate_rho(double rho, double z_field, double z_source) const;
 
   LayeredSoil soil_;

@@ -5,8 +5,28 @@
 
 #include "src/common/error.hpp"
 #include "src/common/math_utils.hpp"
+#include "src/common/simd.hpp"
 
 namespace ebem::soil {
+
+namespace {
+
+/// Vectorized core of the image sum: sum_l w_l / sqrt(rho2 + (xz - z_l)^2)
+/// with z_l = mirror_l * xiz + offset_l, over the SoA term arrays.
+EBEM_SIMD_MULTIVERSION
+double image_sum(const double* EBEM_RESTRICT weight, const double* EBEM_RESTRICT mirror,
+                 const double* EBEM_RESTRICT offset, std::size_t count, double rho2, double xz,
+                 double xiz) {
+  double sum = 0.0;
+  EBEM_SIMD_LOOP_REDUCE(+ : sum)
+  for (std::size_t l = 0; l < count; ++l) {
+    const double dz = xz - (mirror[l] * xiz + offset[l]);
+    sum += weight[l] / std::sqrt(rho2 + dz * dz);
+  }
+  return sum;
+}
+
+}  // namespace
 
 ImageKernel::ImageKernel(const LayeredSoil& soil, const SeriesOptions& options)
     : soil_(soil), options_(options) {
@@ -22,6 +42,23 @@ ImageKernel::ImageKernel(const LayeredSoil& soil, const SeriesOptions& options)
   } else {
     EBEM_EXPECT(false,
                 "image-series kernel supports 1 or 2 layers; use HankelKernel for deeper stacks");
+  }
+  build_soa();
+}
+
+void ImageKernel::build_soa() {
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      TermSoA& soa = soa_[b][c];
+      soa.weight.reserve(terms_[b][c].size());
+      soa.mirror.reserve(terms_[b][c].size());
+      soa.offset.reserve(terms_[b][c].size());
+      for (const ImageTerm& term : terms_[b][c]) {
+        soa.weight.push_back(term.weight);
+        soa.mirror.push_back(term.mirror);
+        soa.offset.push_back(term.offset);
+      }
+    }
   }
 }
 
@@ -112,12 +149,27 @@ double ImageKernel::evaluate_regularized(geom::Vec3 x, geom::Vec3 xi, double rad
   const std::size_t b = soil_.layer_of(xi.z);
   const std::size_t c = soil_.layer_of(x.z);
   const double rho2 = square(x.x - xi.x) + square(x.y - xi.y) + square(radius);
-  double sum = 0.0;
-  for (const ImageTerm& term : terms(b, c)) {
-    const double z_image = term.mirror * xi.z + term.offset;
-    sum += term.weight / std::sqrt(rho2 + square(x.z - z_image));
+  const TermSoA& soa = soa_[b][c];
+  return prefactor(b) *
+         image_sum(soa.weight.data(), soa.mirror.data(), soa.offset.data(), soa.weight.size(),
+                   rho2, x.z, xi.z);
+}
+
+void ImageKernel::evaluate_regularized_batch(geom::Vec3 x, const geom::Vec3* xi,
+                                             std::size_t count, double radius,
+                                             double* out) const {
+  const std::size_t c = soil_.layer_of(x.z);
+  const double radius2 = square(radius);
+  for (std::size_t k = 0; k < count; ++k) {
+    // Per-source layer lookup on purpose: an inner quadrature's nodes all
+    // lie on one element, but nothing in the interface promises that.
+    const std::size_t b = soil_.layer_of(xi[k].z);
+    const double rho2 = square(x.x - xi[k].x) + square(x.y - xi[k].y) + radius2;
+    const TermSoA& soa = soa_[b][c];
+    out[k] = prefactor(b) *
+             image_sum(soa.weight.data(), soa.mirror.data(), soa.offset.data(),
+                       soa.weight.size(), rho2, x.z, xi[k].z);
   }
-  return prefactor(b) * sum;
 }
 
 }  // namespace ebem::soil

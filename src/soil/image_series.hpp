@@ -63,6 +63,12 @@ class ImageKernel final : public PointKernel {
   [[nodiscard]] double evaluate_regularized(geom::Vec3 x, geom::Vec3 xi,
                                             double radius) const override;
 
+  /// SoA override: the image sum per source runs over the precomputed
+  /// weight/mirror/offset arrays in one vectorized sweep (the scalar entry
+  /// uses the same sweep with one source, so both agree exactly).
+  void evaluate_regularized_batch(geom::Vec3 x, const geom::Vec3* xi, std::size_t count,
+                                  double radius, double* out) const override;
+
   [[nodiscard]] const LayeredSoil& soil_model() const override { return soil_; }
 
   /// The precomputed image family for (source layer b, field layer c).
@@ -81,8 +87,18 @@ class ImageKernel final : public PointKernel {
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
  private:
+  /// Structure-of-arrays mirror of one image family, what the vectorized
+  /// evaluation sweeps actually read (the AoS terms() stays the public and
+  /// integrator-facing form; both are built once in the constructor).
+  struct TermSoA {
+    std::vector<double> weight;
+    std::vector<double> mirror;
+    std::vector<double> offset;
+  };
+
   void build_uniform();
   void build_two_layer();
+  void build_soa();
   [[nodiscard]] std::size_t reflections_needed() const;
 
   LayeredSoil soil_;
@@ -90,6 +106,7 @@ class ImageKernel final : public PointKernel {
   std::uint64_t epoch_ = 0;
   // terms_[b][c]; only [0][0] populated for uniform soil.
   std::vector<ImageTerm> terms_[2][2];
+  TermSoA soa_[2][2];
 };
 
 }  // namespace ebem::soil

@@ -9,6 +9,8 @@
 // levels" (§4.2).
 #pragma once
 
+#include <cstddef>
+
 #include "src/geom/vec3.hpp"
 #include "src/soil/soil_model.hpp"
 
@@ -22,6 +24,16 @@ class PointKernel {
   /// (r -> sqrt(r^2 + radius^2)), including the 1/(4 pi gamma_b) prefactor.
   [[nodiscard]] virtual double evaluate_regularized(geom::Vec3 x, geom::Vec3 xi,
                                                     double radius) const = 0;
+
+  /// Batched variant for the integrator's inner quadrature: potentials at x
+  /// of the point sources xi[0..count), one shared regularization radius,
+  /// out[k] = evaluate_regularized(x, xi[k], radius). The default is the
+  /// plain loop; kernels with vectorizable structure (the image series)
+  /// override it with a structure-of-arrays sweep.
+  virtual void evaluate_regularized_batch(geom::Vec3 x, const geom::Vec3* xi, std::size_t count,
+                                          double radius, double* out) const {
+    for (std::size_t k = 0; k < count; ++k) out[k] = evaluate_regularized(x, xi[k], radius);
+  }
 
   [[nodiscard]] virtual const LayeredSoil& soil_model() const = 0;
 };
