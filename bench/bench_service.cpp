@@ -1,0 +1,379 @@
+// Engine-as-a-service bench: loopback throughput/latency sweep over
+// (tenants x in-flight window), plus the CI correctness gates for the wire
+// path. One JSON line per sweep cell for artifact archiving and the bench
+// regression gate (bench/compare_bench.py vs bench/baselines/).
+//
+// What the lines show:
+//  * runs_per_second / mean_latency_ms across the sweep: how the admission
+//    window trades per-run latency for service throughput when several
+//    tenants share one compute pool (each tenant drives its own engine, so
+//    added tenants contend for CPU but never for warm-cache state);
+//  * rejected stays 0 in the sweep — the drivers respect their windows, so
+//    any rejection here is an admission-accounting bug (the baseline gates
+//    it at zero);
+//  * global_peak_outstanding <= tenants x window — the backpressure bound,
+//    observable end to end.
+//
+// Usage: bench_service [runs_per_tenant] [cells] [--check]
+//   runs_per_tenant  analyses each tenant submits per sweep cell
+//                    (default 24; --check drops it to 8)
+//   cells            bench grid cells per side, 5 m pitch (default 3)
+//   --check          CI smoke: exit nonzero unless (a) a real socket
+//                    round-trip reproduces the direct Engine::analyze
+//                    numbers to <= 1e-12 relative, (b) the factor+solve
+//                    wire path agrees with the analysis path to the same
+//                    tolerance, (c) over-quota load is *rejected* (typed
+//                    quota_exceeded, engine peak outstanding at the bound,
+//                    no queue growth), and (d) every tenant's billed
+//                    account reconciles with the sum of its per-run
+//                    reports.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/bem/analysis.hpp"
+#include "src/common/resource_usage.hpp"
+#include "src/common/timer.hpp"
+#include "src/engine/engine.hpp"
+#include "src/geom/grid_builder.hpp"
+#include "src/geom/mesh.hpp"
+#include "src/la/blas1.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/service/codec.hpp"
+#include "src/service/dispatcher.hpp"
+#include "src/service/loopback.hpp"
+#include "src/service/server.hpp"
+
+namespace {
+
+using namespace ebem;
+using service::Json;
+
+std::string tenant_name(std::size_t index) { return "tenant" + std::to_string(index); }
+
+service::ServiceConfig sweep_config(std::size_t tenants, std::size_t window) {
+  service::ServiceConfig config;
+  config.num_threads = 1;  // determinism/timing contract, like every bench
+  for (std::size_t t = 0; t < tenants; ++t) {
+    service::TenantConfig tenant;
+    tenant.name = tenant_name(t);
+    tenant.quotas.max_outstanding_runs = window;
+    config.tenants.push_back(tenant);
+  }
+  return config;
+}
+
+std::string submit_line(const std::string& tenant, std::size_t cells, const char* type) {
+  const double extent = 5.0 * static_cast<double>(cells);
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"type\":\"%s\",\"tenant\":\"%s\",\"model\":{\"grid\":{\"length_x\":%.3f,"
+                "\"length_y\":%.3f,\"cells_x\":%zu,\"cells_y\":%zu},\"soil\":{"
+                "\"conductivities\":[0.005,0.016],\"thicknesses\":[1.0]}}}",
+                type, tenant.c_str(), extent, extent, cells, cells);
+  return buffer;
+}
+
+std::string report_line(const std::string& tenant, double run_id) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"type\":\"get_report\",\"tenant\":\"%s\",\"run_id\":%.0f,\"wait_ms\":60000}",
+                tenant.c_str(), run_id);
+  return buffer;
+}
+
+double field(const Json& response, const char* key) {
+  const Json* value = response.find(key);
+  return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+}
+
+std::string text(const Json& response, const char* key) {
+  const Json* value = response.find(key);
+  return value != nullptr && value->is_string() ? value->as_string() : std::string();
+}
+
+bem::BemModel direct_model(std::size_t cells) {
+  geom::RectGridSpec spec;
+  spec.length_x = 5.0 * static_cast<double>(cells);
+  spec.length_y = 5.0 * static_cast<double>(cells);
+  spec.cells_x = cells;
+  spec.cells_y = cells;
+  return bem::BemModel(geom::Mesh::build(geom::make_rect_grid(spec)),
+                       soil::LayeredSoil::two_layer(0.005, 0.016, 1.0));
+}
+
+struct SweepCell {
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  double seconds = 0.0;
+  double sum_latency_seconds = 0.0;
+  double billed_seconds = 0.0;
+  std::uint64_t rejected = 0;
+  std::size_t global_peak = 0;
+};
+
+/// One tenant's driver: keep up to `window` runs in flight, harvest oldest
+/// first — the steady-state shape of a client that respects its quota.
+void drive_tenant(service::Dispatcher& dispatcher, const std::string& tenant, std::size_t runs,
+                  std::size_t cells, std::size_t window, std::atomic<std::size_t>* completed,
+                  std::atomic<std::size_t>* failed, std::atomic<double>* latency_sum) {
+  service::LoopbackClient client(dispatcher);
+  const std::string submit = submit_line(tenant, cells, "submit_analysis");
+  std::deque<std::pair<double, std::chrono::steady_clock::time_point>> in_flight;
+  double local_latency = 0.0;
+
+  const auto harvest_front = [&] {
+    const auto [run_id, submitted_at] = in_flight.front();
+    in_flight.pop_front();
+    const Json report = service::decode_response(client.call(report_line(tenant, run_id)));
+    local_latency += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                   submitted_at)
+                         .count();
+    if (text(report, "status") == "done") {
+      completed->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  for (std::size_t i = 0; i < runs; ++i) {
+    if (in_flight.size() == window) harvest_front();
+    const Json response = service::decode_response(client.call(submit));
+    if (text(response, "type") != "submitted") {
+      failed->fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    in_flight.emplace_back(field(response, "run_id"), std::chrono::steady_clock::now());
+  }
+  while (!in_flight.empty()) harvest_front();
+
+  // fetch_add(double) needs C++20 on some libstdc++; emulate with CAS.
+  double expected = latency_sum->load(std::memory_order_relaxed);
+  while (!latency_sum->compare_exchange_weak(expected, expected + local_latency,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+SweepCell run_sweep_cell(std::size_t tenants, std::size_t window, std::size_t runs,
+                         std::size_t cells) {
+  service::Dispatcher dispatcher(sweep_config(tenants, window));
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<double> latency_sum{0.0};
+
+  WallTimer wall;
+  std::vector<std::thread> drivers;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    drivers.emplace_back(drive_tenant, std::ref(dispatcher), tenant_name(t), runs, cells, window,
+                         &completed, &failed, &latency_sum);
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  SweepCell cell;
+  cell.seconds = wall.seconds();
+  cell.completed = completed.load();
+  cell.failed = failed.load();
+  cell.sum_latency_seconds = latency_sum.load();
+  const service::DispatcherStats stats = dispatcher.stats();
+  cell.rejected = stats.admission.rejected;
+  cell.global_peak = stats.admission.global_peak_outstanding;
+  service::LoopbackClient client(dispatcher);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    const Json tenant_stats = service::decode_response(
+        client.call("{\"type\":\"stats\",\"tenant\":\"" + tenant_name(t) + "\"}"));
+    cell.billed_seconds += field(tenant_stats, "total_seconds");
+  }
+  return cell;
+}
+
+void emit(std::size_t tenants, std::size_t window, std::size_t runs, std::size_t cells,
+          const SweepCell& cell) {
+  const double total_runs = static_cast<double>(cell.completed);
+  std::printf(
+      "{\"bench\":\"service\",\"tenants\":%zu,\"window\":%zu,\"runs\":%zu,\"cells\":%zu,"
+      "\"completed\":%zu,\"failed\":%zu,\"seconds\":%.6f,\"runs_per_second\":%.3f,"
+      "\"mean_latency_ms\":%.3f,\"billed_seconds\":%.6f,\"rejected\":%llu,"
+      "\"global_peak_outstanding\":%zu,\"hw_concurrency\":%zu,\"pool_threads\":1,"
+      "\"peak_rss_kb\":%zu}\n",
+      tenants, window, runs, cells, cell.completed, cell.failed, cell.seconds,
+      cell.seconds > 0.0 ? total_runs / cell.seconds : 0.0,
+      total_runs > 0.0 ? 1e3 * cell.sum_latency_seconds / total_runs : 0.0,
+      cell.billed_seconds, static_cast<unsigned long long>(cell.rejected), cell.global_peak,
+      par::hardware_threads(), peak_rss_bytes() / 1024);
+}
+
+// ---------------------------------------------------------------- checks ---
+
+bool check_socket_parity(std::size_t cells) {
+  service::ServiceConfig config = sweep_config(1, 4);
+  service::Dispatcher dispatcher(config);
+  service::Server server(dispatcher);  // ephemeral port
+  service::Client client(server.port());
+
+  const Json analysis = service::decode_response(
+      client.call(submit_line(tenant_name(0), cells, "submit_analysis")));
+  const Json factored = service::decode_response(
+      client.call(submit_line(tenant_name(0), cells, "submit_factor_solve")));
+  if (text(analysis, "type") != "submitted" || text(factored, "type") != "submitted") {
+    std::fprintf(stderr, "bench_service: socket submit failed\n");
+    return false;
+  }
+  const Json analysis_report = service::decode_response(
+      client.call(report_line(tenant_name(0), field(analysis, "run_id"))));
+  const Json factored_report = service::decode_response(
+      client.call(report_line(tenant_name(0), field(factored, "run_id"))));
+  if (text(analysis_report, "status") != "done" || text(factored_report, "status") != "done") {
+    std::fprintf(stderr, "bench_service: socket runs did not complete\n");
+    return false;
+  }
+
+  engine::Engine direct;
+  const bem::AnalysisResult reference = direct.analyze(direct_model(cells));
+  const double sigma_l2 = std::sqrt(la::dot(reference.sigma, reference.sigma));
+  const auto relative = [](double wire, double ref) { return std::abs(wire - ref) / ref; };
+  bool ok = true;
+  if (relative(field(analysis_report, "equivalent_resistance"),
+               reference.equivalent_resistance) > 1e-12 ||
+      relative(field(analysis_report, "total_current"), reference.total_current) > 1e-12 ||
+      relative(field(analysis_report, "sigma_l2"), sigma_l2) > 1e-12) {
+    std::fprintf(stderr,
+                 "bench_service: socket analysis response diverges from direct analyze\n");
+    ok = false;
+  }
+  if (relative(field(factored_report, "equivalent_resistance"),
+               reference.equivalent_resistance) > 1e-12 ||
+      relative(field(factored_report, "sigma_l2"), sigma_l2) > 1e-12) {
+    std::fprintf(stderr, "bench_service: factor+solve wire path diverges from analysis\n");
+    ok = false;
+  }
+  server.stop();
+  return ok;
+}
+
+bool check_over_quota_rejection(std::size_t cells) {
+  // One tenant, quota 2, 10 back-to-back submits with no harvesting: the
+  // surplus must bounce with a typed rejection while the engine's pipeline
+  // never sees more than the bound — rejection, not queue growth.
+  constexpr std::size_t kQuota = 2;
+  constexpr std::size_t kSubmits = 10;
+  service::Dispatcher dispatcher(sweep_config(1, kQuota));
+  service::LoopbackClient client(dispatcher);
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < kSubmits; ++i) {
+    const Json response = service::decode_response(
+        client.call(submit_line(tenant_name(0), cells, "submit_analysis")));
+    if (text(response, "type") == "submitted") {
+      ++accepted;
+    } else if (text(response, "code") == "quota_exceeded") {
+      ++rejected;
+    }
+  }
+  const Json stats = service::decode_response(
+      client.call("{\"type\":\"stats\",\"tenant\":\"" + tenant_name(0) + "\"}"));
+  bool ok = true;
+  if (rejected == 0 || accepted + rejected != kSubmits) {
+    std::fprintf(stderr, "bench_service: over-quota load was not rejected (%zu/%zu)\n",
+                 rejected, kSubmits);
+    ok = false;
+  }
+  if (field(stats, "engine_peak_outstanding") > static_cast<double>(kQuota) ||
+      field(stats, "peak_outstanding") > static_cast<double>(kQuota)) {
+    std::fprintf(stderr, "bench_service: outstanding runs exceeded the quota bound\n");
+    ok = false;
+  }
+  if (field(stats, "runs_rejected") != static_cast<double>(rejected)) {
+    std::fprintf(stderr, "bench_service: rejection tally does not match responses\n");
+    ok = false;
+  }
+  return ok;
+}
+
+bool check_reconciliation(std::size_t runs, std::size_t cells) {
+  // Per-run reports, summed client-side, must equal the server-side bill.
+  service::Dispatcher dispatcher(sweep_config(1, 4));
+  service::LoopbackClient client(dispatcher);
+  double client_side_seconds = 0.0;
+  double client_side_elements = 0.0;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const Json submitted = service::decode_response(
+        client.call(submit_line(tenant_name(0), cells, "submit_analysis")));
+    const Json report = service::decode_response(
+        client.call(report_line(tenant_name(0), field(submitted, "run_id"))));
+    if (text(report, "status") != "done") return false;
+    client_side_seconds += field(report, "total_seconds");
+    client_side_elements += field(report, "elements");
+  }
+  const Json stats = service::decode_response(
+      client.call("{\"type\":\"stats\",\"tenant\":\"" + tenant_name(0) + "\"}"));
+  if (std::abs(field(stats, "total_seconds") - client_side_seconds) > 1e-9 ||
+      field(stats, "elements_billed") != client_side_elements ||
+      field(stats, "runs_completed") != static_cast<double>(runs)) {
+    std::fprintf(stderr, "bench_service: tenant account does not reconcile with run reports\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t runs = 24;
+  std::size_t cells = 3;
+  bool check = false;
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (positional == 0) {
+      runs = std::strtoul(argv[i], nullptr, 10);
+      ++positional;
+    } else {
+      cells = std::strtoul(argv[i], nullptr, 10);
+      ++positional;
+    }
+  }
+  if (runs < 4 || cells < 2) {
+    std::fprintf(stderr, "usage: bench_service [runs_per_tenant >= 4] [cells >= 2] [--check]\n");
+    return 1;
+  }
+  if (check && positional == 0) runs = 8;  // reduced smoke unless sized explicitly
+
+  bool ok = true;
+  for (const std::size_t tenants : {1u, 2u, 4u}) {
+    for (const std::size_t window : {1u, 2u, 4u}) {
+      const SweepCell cell = run_sweep_cell(tenants, window, runs, cells);
+      emit(tenants, window, runs, cells, cell);
+      if (cell.failed != 0 || cell.completed != tenants * runs) {
+        std::fprintf(stderr, "bench_service: sweep cell %zux%zu lost runs (%zu/%zu)\n", tenants,
+                     window, cell.completed, tenants * runs);
+        ok = false;
+      }
+      if (cell.rejected != 0) {
+        std::fprintf(stderr,
+                     "bench_service: sweep cell %zux%zu saw rejections inside the window\n",
+                     tenants, window);
+        ok = false;
+      }
+      if (cell.global_peak > tenants * window) {
+        std::fprintf(stderr, "bench_service: global peak %zu exceeded %zu\n", cell.global_peak,
+                     tenants * window);
+        ok = false;
+      }
+    }
+  }
+
+  if (!check) return ok ? 0 : 1;
+
+  ok = check_socket_parity(cells + 1) && ok;
+  ok = check_over_quota_rejection(cells) && ok;
+  ok = check_reconciliation(runs, cells) && ok;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+// Engine-as-a-service: run the BEM engine behind a multi-tenant network
+// front door and talk to it over a real socket.
+//
+//   $ ./serve
+//
+// One process plays both sides. The server half registers two tenants —
+// "utility" with roomy quotas and "consultant" with tight ones — and serves
+// the line-delimited JSON protocol on an ephemeral loopback port. The
+// client half then walks the whole wire surface: submit analyses, poll and
+// wait for reports, trip the admission controller's typed rejections
+// (oversized model, exhausted quota), read the per-tenant bills, and
+// finally shut the service down gracefully over the wire. Everything the
+// clients see — admission, per-tenant warm caches, cost accounting — lives
+// in service::Dispatcher; the socket layer only moves bytes.
+#include <cstdio>
+#include <string>
+
+#include "src/ebem.hpp"
+
+namespace {
+
+using ebem::service::Json;
+
+std::string submit_line(const std::string& tenant, std::size_t cells, const char* type) {
+  const double extent = 5.0 * static_cast<double>(cells);
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"type\":\"%s\",\"tenant\":\"%s\",\"model\":{\"grid\":{\"length_x\":%.1f,"
+                "\"length_y\":%.1f,\"cells_x\":%zu,\"cells_y\":%zu},\"soil\":{"
+                "\"conductivities\":[0.005,0.016],\"thicknesses\":[1.0]}}}",
+                type, tenant.c_str(), extent, extent, cells, cells);
+  return buffer;
+}
+
+double field(const Json& response, const char* key) {
+  const Json* value = response.find(key);
+  return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+}
+
+std::string text(const Json& response, const char* key) {
+  const Json* value = response.find(key);
+  return value != nullptr && value->is_string() ? value->as_string() : std::string();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ebem;
+
+  // --- server side --------------------------------------------------------
+
+  // Two tenants, each with its own engine + warm congruence cache behind
+  // one Dispatcher; the "consultant" tenant is capped at 2 outstanding runs
+  // and 60 elements per model.
+  service::ServiceConfig config;
+  service::TenantConfig utility;
+  utility.name = "utility";
+  utility.quotas.max_outstanding_runs = 8;
+  utility.gpr = 10e3;  // this tenant's studies run at a 10 kV GPR
+  service::TenantConfig consultant;
+  consultant.name = "consultant";
+  consultant.quotas.max_outstanding_runs = 2;
+  consultant.quotas.max_elements_per_model = 60;
+  consultant.quotas.max_runs_per_window = 2;  // at most 2 admissions per minute
+  consultant.quotas.window_seconds = 60.0;
+  config.tenants = {utility, consultant};
+
+  service::Dispatcher dispatcher(config);
+  service::Server server(dispatcher);  // port 0 -> kernel picks a free port
+  std::printf("serving on 127.0.0.1:%u\n\n", server.port());
+
+  // --- client side --------------------------------------------------------
+
+  service::Client client(server.port());
+
+  // 1. Submit an analysis and wait for its report on the same connection.
+  const Json submitted =
+      service::decode_response(client.call(submit_line("utility", 4, "submit_analysis")));
+  std::printf("utility submitted run %.0f (%.0f elements)\n", field(submitted, "run_id"),
+              field(submitted, "elements"));
+  const std::string wait_line =
+      "{\"type\":\"get_report\",\"tenant\":\"utility\",\"run_id\":" +
+      std::to_string(static_cast<long long>(field(submitted, "run_id"))) +
+      ",\"wait_ms\":30000}";
+  const Json report = service::decode_response(client.call(wait_line));
+  std::printf("  status=%s  R_eq=%.4f Ohm  I=%.1f A  (assembly %.1f ms, solve %.1f ms)\n",
+              text(report, "status").c_str(), field(report, "equivalent_resistance"),
+              field(report, "total_current"), 1e3 * field(report, "assembly_seconds"),
+              1e3 * field(report, "solve_seconds"));
+
+  // 2. Typed rejections: the consultant's quotas stop bad requests at the
+  //    door — the engine never sees them.
+  const Json too_large =
+      service::decode_response(client.call(submit_line("consultant", 8, "submit_analysis")));
+  std::printf("\nconsultant, 8x8 grid:   %s (%s)\n", text(too_large, "code").c_str(),
+              text(too_large, "message").c_str());
+  (void)client.call(submit_line("consultant", 3, "submit_analysis"));
+  (void)client.call(submit_line("consultant", 3, "submit_analysis"));
+  const Json over_quota =
+      service::decode_response(client.call(submit_line("consultant", 3, "submit_analysis")));
+  // Third submit in the window: quota_exceeded while the first two are still
+  // in flight, rate_limited once they finish — rejected at the door either way.
+  std::printf("consultant, 3rd submit:  %s\n", text(over_quota, "code").c_str());
+
+  // 3. Graceful shutdown over the wire: stop admitting, drain in-flight
+  //    runs (the consultant's two are still cooking), flush the accounts.
+  const Json ack = service::decode_response(client.call("{\"type\":\"shutdown\"}"));
+  std::printf("\nshutdown: %s (harvested %.0f runs)\n", text(ack, "type").c_str(),
+              field(ack, "runs_harvested"));
+  const Json refused =
+      service::decode_response(client.call(submit_line("utility", 2, "submit_analysis")));
+  std::printf("post-shutdown submit: %s\n", text(refused, "code").c_str());
+
+  // 4. Per-tenant bills: every completed run's PhaseReport landed on its
+  //    tenant's account (rejections tallied too), and the final accounts
+  //    stay readable after the drain.
+  for (const char* tenant : {"utility", "consultant"}) {
+    const Json stats = service::decode_response(
+        client.call(std::string("{\"type\":\"stats\",\"tenant\":\"") + tenant + "\"}"));
+    std::printf("\n%s bill: %.0f done / %.0f rejected, %.0f elements, %.1f ms compute, "
+                "cache %.0f hits\n",
+                tenant, field(stats, "runs_completed"), field(stats, "runs_rejected"),
+                field(stats, "elements_billed"), 1e3 * field(stats, "total_seconds"),
+                field(stats, "cache_hits"));
+  }
+
+  server.stop();
+  return 0;
+}

@@ -97,6 +97,11 @@ double PhaseReport::counter(std::string_view name) const {
   return 0.0;
 }
 
+std::vector<std::pair<std::string, double>> PhaseReport::counters_snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return counters_;
+}
+
 void PhaseReport::merge(const PhaseReport& other) {
   // Snapshot `other` under its own lock, then fold the snapshot in under
   // ours. Taking the locks sequentially (never nested) keeps any

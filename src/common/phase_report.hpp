@@ -78,6 +78,11 @@ class PhaseReport {
     return counters_;
   }
 
+  /// Locked copy of the counters, safe while concurrent runs are still
+  /// merging into this report — what a live stats endpoint (the service
+  /// layer's per-tenant bills) reads instead of counters().
+  [[nodiscard]] std::vector<std::pair<std::string, double>> counters_snapshot() const;
+
   /// Multi-line table in the style of the paper's Table 6.1, followed by the
   /// auxiliary counters when any were recorded.
   [[nodiscard]] std::string to_string() const;

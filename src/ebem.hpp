@@ -22,6 +22,9 @@
 //       redundancy — TwoLayerFit::sigma_log_* / residual_sigma)
 //   campaign::Runner                             — scenario campaigns: stochastic
 //       soil + damage sweeps reduced to percentile safety reports
+//   service::Dispatcher / Server                 — the engine as a multi-tenant
+//       service: line-delimited JSON over a socket, admission control, quotas,
+//       per-tenant warm caches and cost accounts
 //
 // Scenario campaigns (campaign/): one safety verdict against one fitted
 // soil is a point estimate; a campaign answers "how safe is this design
@@ -156,6 +159,31 @@
 // precision, documented bound ~1e-9 at threshold 1e-5 — measurably outside
 // the 1e-12 parity contract, hence off by default.
 //
+// Serving the engine (service/): everything above assumes the caller links
+// the library; the service layer puts the same engine behind a network front
+// door instead. The transport is deliberately primitive — line-delimited
+// JSON over a blocking socket (service::Server, thread-per-connection,
+// loopback only) — because all the tenancy logic lives in the
+// transport-agnostic service::Dispatcher underneath: a strict dependency-free
+// codec rejects malformed frames with typed error payloads *before* any
+// engine is touched; service::TenantRegistry gives every tenant its own
+// Study-backed session (own Engine, own warm congruence cache — isolation by
+// construction, since the cache's physics-fingerprint guard only ever sees
+// one tenant's soils) over one shared worker pool; an AdmissionController
+// enforces per-tenant quotas (outstanding runs, elements per model, a
+// sliding rate window) plus one global outstanding bound, rejecting
+// immediately with a typed code (quota_exceeded / rate_limited / overloaded
+// / model_too_large) rather than queueing unboundedly; and a harvester
+// thread reaps completed RunFutures, billing each run's own PhaseReport —
+// wall seconds by phase, elements, cache hits — into that tenant's
+// CostAccount, which the wire's stats request exposes as the bill.
+// Graceful shutdown drains in-flight runs and flushes accounts before the
+// socket closes; a shutting_down code refuses latecomers. The wire
+// factor_solve path reproduces analyze()'s numbers to <= 1e-12 (CI-gated by
+// bench/bench_service.cpp --check). service::LoopbackClient runs the whole
+// protocol in-process for tests; examples/serve.cpp walks the socket
+// surface end to end.
+//
 // The bem:: free functions (analyze, assemble, solve) remain as serial
 // shims; their option structs carry physics only. Anything that runs more
 // than one analysis should hold an engine::Engine.
@@ -214,6 +242,12 @@
 #include "src/post/safety.hpp"
 #include "src/post/surface_potential.hpp"
 #include "src/quad/gauss.hpp"
+#include "src/service/admission.hpp"
+#include "src/service/codec.hpp"
+#include "src/service/dispatcher.hpp"
+#include "src/service/loopback.hpp"
+#include "src/service/server.hpp"
+#include "src/service/tenant.hpp"
 #include "src/soil/hankel_kernel.hpp"
 #include "src/soil/image_series.hpp"
 #include "src/soil/kernel_factory.hpp"

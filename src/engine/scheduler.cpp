@@ -86,6 +86,12 @@ void wait_terminal(const RunState& run) {
   run.cv.wait(lock, [&] { return is_terminal(run.status); });
 }
 
+[[nodiscard]] bool wait_terminal_for(const RunState& run, std::chrono::nanoseconds timeout) {
+  std::unique_lock lock(run.mutex);
+  if (timeout <= std::chrono::nanoseconds::zero()) return is_terminal(run.status);
+  return run.cv.wait_for(lock, timeout, [&] { return is_terminal(run.status); });
+}
+
 /// Wait, then leave the run locked-in as kDone or throw its error.
 void wait_success(const RunState& run, const char* what) {
   std::unique_lock lock(run.mutex);
@@ -233,6 +239,11 @@ RunStatus FutureBase::status() const {
 void FutureBase::wait() const {
   EBEM_EXPECT(valid(), "wait() on an empty run future");
   wait_terminal(*state_);
+}
+
+bool FutureBase::wait_for(std::chrono::nanoseconds timeout) const {
+  EBEM_EXPECT(valid(), "wait_for() on an empty run future");
+  return wait_terminal_for(*state_, timeout);
 }
 
 const PhaseReport& FutureBase::report() const {

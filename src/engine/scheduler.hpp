@@ -32,6 +32,7 @@
 //    PhaseReport's internally locked merge, so no counter increment is lost.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -94,6 +95,12 @@ class FutureBase {
   [[nodiscard]] RunStatus status() const;
   /// Block until terminal.
   void wait() const;
+  /// Block until terminal or until `timeout` elapses, whichever comes
+  /// first; returns whether the run is terminal. A non-positive timeout is
+  /// a non-blocking poll. This is what lets one dispatcher thread watch
+  /// many runs with deadlines instead of parking a thread per run (the
+  /// service layer's harvest loop is the canonical caller).
+  [[nodiscard]] bool wait_for(std::chrono::nanoseconds timeout) const;
   /// This run's phase timings and counters; blocks until terminal (the
   /// same numbers the engine's session report received).
   [[nodiscard]] const PhaseReport& report() const;

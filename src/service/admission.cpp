@@ -1,0 +1,112 @@
+#include "src/service/admission.hpp"
+
+#include <chrono>
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace ebem::service {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(std::size_t max_global_outstanding)
+    : max_global_outstanding_(max_global_outstanding) {
+  EBEM_EXPECT(max_global_outstanding_ >= 1, "global outstanding bound must be >= 1");
+}
+
+void AdmissionController::reject(TenantSession& session, ErrorCode code,
+                                 const std::string& message) {
+  // Called with mutex_ held; tally outside any throw path ambiguity.
+  ++rejected_;
+  session.account().record_rejection(code);
+  throw RequestError(code, message);
+}
+
+void AdmissionController::admit(TenantSession& session, std::size_t elements) {
+  const TenantQuotas& quotas = session.config().quotas;
+  const std::scoped_lock lock(mutex_);
+  AdmissionLedger& ledger = session.ledger();
+
+  if (shutting_down_) {
+    reject(session, ErrorCode::kShuttingDown, "service is draining; submit again later");
+  }
+  if (quotas.max_elements_per_model > 0 && elements > quotas.max_elements_per_model) {
+    reject(session, ErrorCode::kModelTooLarge,
+           "model meshes to " + std::to_string(elements) + " elements; tenant limit is " +
+               std::to_string(quotas.max_elements_per_model));
+  }
+  if (ledger.outstanding >= quotas.max_outstanding_runs) {
+    reject(session, ErrorCode::kQuotaExceeded,
+           quotas.max_outstanding_runs == 0
+               ? "tenant quota is zero"
+               : "tenant at max outstanding runs (" +
+                     std::to_string(quotas.max_outstanding_runs) + ")");
+  }
+  if (quotas.max_runs_per_window > 0) {
+    const double now = monotonic_seconds();
+    while (!ledger.window.empty() && now - ledger.window.front() > quotas.window_seconds) {
+      ledger.window.pop_front();
+    }
+    if (ledger.window.size() >= quotas.max_runs_per_window) {
+      reject(session, ErrorCode::kRateLimited,
+             "tenant exceeded " + std::to_string(quotas.max_runs_per_window) + " runs per " +
+                 std::to_string(quotas.window_seconds) + "s window");
+    }
+    ledger.window.push_back(now);
+  }
+  if (global_outstanding_ >= max_global_outstanding_) {
+    // The rate-window stamp above must not survive a global rejection.
+    if (quotas.max_runs_per_window > 0) ledger.window.pop_back();
+    reject(session, ErrorCode::kOverloaded,
+           "service at global outstanding bound (" +
+               std::to_string(max_global_outstanding_) + ")");
+  }
+
+  ++ledger.outstanding;
+  if (ledger.outstanding > ledger.peak_outstanding) {
+    ledger.peak_outstanding = ledger.outstanding;
+  }
+  ++global_outstanding_;
+  if (global_outstanding_ > global_peak_outstanding_) {
+    global_peak_outstanding_ = global_outstanding_;
+  }
+  ++admitted_;
+}
+
+void AdmissionController::retire(TenantSession& session) {
+  const std::scoped_lock lock(mutex_);
+  AdmissionLedger& ledger = session.ledger();
+  EBEM_ENSURE(ledger.outstanding > 0 && global_outstanding_ > 0,
+              "retire() without a matching admit()");
+  --ledger.outstanding;
+  --global_outstanding_;
+}
+
+void AdmissionController::begin_shutdown() {
+  const std::scoped_lock lock(mutex_);
+  shutting_down_ = true;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  const std::scoped_lock lock(mutex_);
+  AdmissionStats stats;
+  stats.global_outstanding = global_outstanding_;
+  stats.global_peak_outstanding = global_peak_outstanding_;
+  stats.admitted = admitted_;
+  stats.rejected = rejected_;
+  return stats;
+}
+
+AdmissionLedger AdmissionController::ledger_snapshot(TenantSession& session) const {
+  const std::scoped_lock lock(mutex_);
+  return session.ledger();
+}
+
+}  // namespace ebem::service

@@ -1,0 +1,641 @@
+#include "src/service/codec.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace ebem::service {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kMalformedRequest:
+      return "malformed_request";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kUnknownTenant:
+      return "unknown_tenant";
+    case ErrorCode::kUnknownRun:
+      return "unknown_run";
+    case ErrorCode::kForbidden:
+      return "forbidden";
+    case ErrorCode::kModelTooLarge:
+      return "model_too_large";
+    case ErrorCode::kQuotaExceeded:
+      return "quota_exceeded";
+    case ErrorCode::kRateLimited:
+      return "rate_limited";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+// ---------------------------------------------------------------- JSON value ---
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto& object = as_object();
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; positions are byte offsets
+/// so error messages point at the offending byte.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run(std::string* error) {
+    std::optional<Json> value = parse_value(0);
+    if (value) {
+      skip_whitespace();
+      if (pos_ != text_.size()) value.reset(), fail("trailing garbage after document");
+    }
+    if (!value && error) *error = error_;
+    return value;
+  }
+
+ private:
+  std::optional<Json> fail(std::string_view message) {
+    if (error_.empty()) {
+      std::ostringstream os;
+      os << message << " at byte " << pos_;
+      error_ = os.str();
+    }
+    return std::nullopt;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<Json> parse_value(std::size_t depth) {
+    if (depth > Json::kMaxDepth) return fail("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        return consume_literal("null") ? std::optional<Json>(Json(nullptr))
+                                       : fail("invalid literal");
+      case 't':
+        return consume_literal("true") ? std::optional<Json>(Json(true)) : fail("invalid literal");
+      case 'f':
+        return consume_literal("false") ? std::optional<Json>(Json(false))
+                                        : fail("invalid literal");
+      case '"':
+        return parse_string();
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Json(std::move(out));
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            unsigned code = 0;
+            if (!parse_hex4(&code)) return fail("invalid \\u escape");
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: require the paired low surrogate.
+              unsigned low = 0;
+              if (!consume('\\') || !consume('u') || !parse_hex4(&low) || low < 0xDC00 ||
+                  low > 0xDFFF) {
+                return fail("unpaired surrogate");
+              }
+              const unsigned cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              append_utf8(out, cp);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return fail("unpaired surrogate");
+            } else {
+              append_utf8(out, code);
+            }
+            break;
+          }
+          default:
+            return fail("invalid escape character");
+        }
+        continue;
+      }
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return fail("invalid token");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return fail("number out of range");
+    }
+    return Json(value);
+  }
+
+  std::optional<Json> parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    Json::Array items;
+    skip_whitespace();
+    if (consume(']')) return Json(std::move(items));
+    while (true) {
+      std::optional<Json> item = parse_value(depth + 1);
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      skip_whitespace();
+      if (consume(']')) return Json(std::move(items));
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<Json> parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    Json::Object members;
+    skip_whitespace();
+    if (consume('}')) return Json(std::move(members));
+    while (true) {
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      std::optional<Json> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':' after object key");
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value) return std::nullopt;
+      if (!members.emplace(key->as_string(), std::move(*value)).second) {
+        return fail("duplicate object key");
+      }
+      skip_whitespace();
+      if (consume('}')) return Json(std::move(members));
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+void dump_string(const std::string& value, std::string& out) {
+  out.push_back('"');
+  for (const char raw : value) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double value, std::string& out) {
+  // Integral values serialize without an exponent or trailing ".0" so ids
+  // and counts stay readable; %.17g otherwise guarantees round-trip.
+  if (std::isfinite(value) && value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void dump_value(const Json& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    dump_number(value.as_number(), out);
+  } else if (value.is_string()) {
+    dump_string(value.as_string(), out);
+  } else if (value.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Json& item : value.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(item, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, member] : value.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(key, out);
+      out.push_back(':');
+      dump_value(member, out);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+// ------------------------------------------------------------- line framing ---
+
+void LineBuffer::append(std::string_view bytes) {
+  if (overflowed_) return;  // stream already condemned; drop further input
+  buffer_.append(bytes);
+  // Overflow means "some line with no newline yet exceeds the bound": only
+  // the tail after the last newline can still grow, so check that.
+  const std::size_t last_newline = buffer_.rfind('\n');
+  const std::size_t tail = last_newline == std::string::npos ? buffer_.size()
+                                                             : buffer_.size() - last_newline - 1;
+  if (tail > max_line_bytes_) overflowed_ = true;
+}
+
+std::optional<std::string> LineBuffer::pop_line() {
+  const std::size_t newline = buffer_.find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  std::size_t end = newline;
+  if (end > 0 && buffer_[end - 1] == '\r') --end;
+  if (end > max_line_bytes_) {
+    overflowed_ = true;
+    return std::nullopt;
+  }
+  std::string line = buffer_.substr(0, end);
+  buffer_.erase(0, newline + 1);
+  return line;
+}
+
+// ----------------------------------------------------------- request schema ---
+
+namespace {
+
+[[noreturn]] void reject(ErrorCode code, const std::string& message) {
+  throw RequestError(code, message);
+}
+
+const Json& require_field(const Json& object, std::string_view key) {
+  const Json* field = object.find(key);
+  if (field == nullptr) {
+    reject(ErrorCode::kInvalidArgument, "missing required field '" + std::string(key) + "'");
+  }
+  return *field;
+}
+
+std::string require_string(const Json& object, std::string_view key) {
+  const Json& field = require_field(object, key);
+  if (!field.is_string()) {
+    reject(ErrorCode::kInvalidArgument, "field '" + std::string(key) + "' must be a string");
+  }
+  return field.as_string();
+}
+
+double require_number(const Json& object, std::string_view key, double min_value,
+                      double max_value) {
+  const Json& field = require_field(object, key);
+  if (!field.is_number()) {
+    reject(ErrorCode::kInvalidArgument, "field '" + std::string(key) + "' must be a number");
+  }
+  const double value = field.as_number();
+  if (!(value >= min_value && value <= max_value)) {
+    std::ostringstream os;
+    os << "field '" << key << "' out of range [" << min_value << ", " << max_value << "]: "
+       << value;
+    reject(ErrorCode::kInvalidArgument, os.str());
+  }
+  return value;
+}
+
+std::size_t require_count(const Json& object, std::string_view key, std::size_t min_value,
+                          std::size_t max_value) {
+  const double value = require_number(object, key, static_cast<double>(min_value),
+                                      static_cast<double>(max_value));
+  if (value != std::floor(value)) {
+    reject(ErrorCode::kInvalidArgument, "field '" + std::string(key) + "' must be an integer");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+ModelSpec decode_model(const Json& request) {
+  const Json& model = require_field(request, "model");
+  if (!model.is_object()) reject(ErrorCode::kInvalidArgument, "field 'model' must be an object");
+
+  ModelSpec spec;
+  const Json& grid = require_field(model, "grid");
+  if (!grid.is_object()) reject(ErrorCode::kInvalidArgument, "field 'grid' must be an object");
+  spec.grid.length_x = require_number(grid, "length_x", 1e-3, ModelLimits::kMaxExtentMeters);
+  spec.grid.length_y = require_number(grid, "length_y", 1e-3, ModelLimits::kMaxExtentMeters);
+  spec.grid.cells_x = require_count(grid, "cells_x", 1, ModelLimits::kMaxCellsPerSide);
+  spec.grid.cells_y = require_count(grid, "cells_y", 1, ModelLimits::kMaxCellsPerSide);
+  if (const Json* depth = grid.find("depth")) {
+    if (!depth->is_number() || !(depth->as_number() > 0.0) ||
+        depth->as_number() > ModelLimits::kMaxDepthMeters) {
+      reject(ErrorCode::kInvalidArgument, "field 'depth' out of range");
+    }
+    spec.grid.depth = depth->as_number();
+  }
+  if (const Json* radius = grid.find("radius")) {
+    if (!radius->is_number() || !(radius->as_number() > 0.0) ||
+        radius->as_number() > ModelLimits::kMaxRadiusMeters) {
+      reject(ErrorCode::kInvalidArgument, "field 'radius' out of range");
+    }
+    spec.grid.radius = radius->as_number();
+  }
+
+  const Json& soil = require_field(model, "soil");
+  if (!soil.is_object()) reject(ErrorCode::kInvalidArgument, "field 'soil' must be an object");
+  const Json& conductivities = require_field(soil, "conductivities");
+  if (!conductivities.is_array() || conductivities.as_array().empty() ||
+      conductivities.as_array().size() > ModelLimits::kMaxSoilLayers) {
+    reject(ErrorCode::kInvalidArgument, "field 'conductivities' must be a non-empty array of at "
+                                        "most " +
+                                            std::to_string(ModelLimits::kMaxSoilLayers) +
+                                            " numbers");
+  }
+  const Json* thicknesses = soil.find("thicknesses");
+  const std::size_t layer_count = conductivities.as_array().size();
+  if (thicknesses != nullptr &&
+      (!thicknesses->is_array() || thicknesses->as_array().size() != layer_count - 1)) {
+    reject(ErrorCode::kInvalidArgument,
+           "field 'thicknesses' must be an array with one entry per non-terminal layer");
+  }
+  for (std::size_t i = 0; i < layer_count; ++i) {
+    const Json& sigma = conductivities.as_array()[i];
+    if (!sigma.is_number() || !(sigma.as_number() > 0.0) || sigma.as_number() > 1e6) {
+      reject(ErrorCode::kInvalidArgument, "conductivities entries must be in (0, 1e6] S/m");
+    }
+    double thickness = 0.0;  // last layer: ignored (infinite)
+    if (i + 1 < layer_count) {
+      if (thicknesses == nullptr) {
+        reject(ErrorCode::kInvalidArgument,
+               "field 'thicknesses' is required for multi-layer soil");
+      }
+      const Json& entry = thicknesses->as_array()[i];
+      if (!entry.is_number() || !(entry.as_number() > 0.0) ||
+          entry.as_number() > ModelLimits::kMaxExtentMeters) {
+        reject(ErrorCode::kInvalidArgument, "thicknesses entries must be positive and bounded");
+      }
+      thickness = entry.as_number();
+    }
+    spec.layers.push_back(soil::Layer{sigma.as_number(), thickness});
+  }
+  return spec;
+}
+
+}  // namespace
+
+Request decode_request(std::string_view line) {
+  std::string parse_error;
+  std::optional<Json> document = Json::parse(line, &parse_error);
+  if (!document) reject(ErrorCode::kMalformedRequest, "invalid JSON: " + parse_error);
+  if (!document->is_object()) {
+    reject(ErrorCode::kMalformedRequest, "request must be a JSON object");
+  }
+  const Json* type = document->find("type");
+  if (type == nullptr || !type->is_string()) {
+    reject(ErrorCode::kMalformedRequest, "request must carry a string 'type'");
+  }
+  const std::string& kind = type->as_string();
+
+  if (kind == "submit_analysis" || kind == "submit_factor_solve") {
+    SubmitRequest request;
+    request.tenant = require_string(*document, "tenant");
+    request.model = decode_model(*document);
+    request.factor_solve = kind == "submit_factor_solve";
+    return request;
+  }
+  if (kind == "get_report") {
+    ReportRequest request;
+    request.tenant = require_string(*document, "tenant");
+    request.run_id = static_cast<std::uint64_t>(
+        require_count(*document, "run_id", 1, std::size_t{1} << 53));
+    if (document->find("wait_ms") != nullptr) {
+      request.wait_ms = static_cast<std::uint32_t>(
+          require_count(*document, "wait_ms", 0, ReportRequest::kMaxWaitMs));
+    }
+    return request;
+  }
+  if (kind == "stats") {
+    StatsRequest request;
+    if (document->find("tenant") != nullptr) request.tenant = require_string(*document, "tenant");
+    return request;
+  }
+  if (kind == "shutdown") return ShutdownRequest{};
+
+  reject(ErrorCode::kMalformedRequest, "unknown request type '" + kind + "'");
+}
+
+// --------------------------------------------------------- response builders ---
+
+std::string error_response(ErrorCode code, std::string_view message) {
+  Json::Object object;
+  object.emplace("type", Json("error"));
+  object.emplace("code", Json(error_code_name(code)));
+  object.emplace("message", Json(std::string(message)));
+  return Json(std::move(object)).dump();
+}
+
+std::string submitted_response(std::uint64_t run_id, std::string_view tenant,
+                               std::size_t elements) {
+  Json::Object object;
+  object.emplace("type", Json("submitted"));
+  object.emplace("run_id", Json(static_cast<double>(run_id)));
+  object.emplace("tenant", Json(std::string(tenant)));
+  object.emplace("elements", Json(static_cast<double>(elements)));
+  return Json(std::move(object)).dump();
+}
+
+std::string report_response(const RunReport& report) {
+  Json::Object object;
+  object.emplace("type", Json("report"));
+  object.emplace("run_id", Json(static_cast<double>(report.run_id)));
+  object.emplace("status", Json(report.status));
+  object.emplace("factor_solve", Json(report.factor_solve));
+  if (!report.error.empty()) object.emplace("error", Json(report.error));
+  if (report.status == "done") {
+    object.emplace("equivalent_resistance", Json(report.equivalent_resistance));
+    object.emplace("total_current", Json(report.total_current));
+    object.emplace("sigma_l2", Json(report.sigma_l2));
+    object.emplace("elements", Json(static_cast<double>(report.elements)));
+    object.emplace("assembly_seconds", Json(report.assembly_seconds));
+    object.emplace("solve_seconds", Json(report.solve_seconds));
+    object.emplace("total_seconds", Json(report.total_seconds));
+    object.emplace("cache_hits", Json(report.cache_hits));
+    object.emplace("cache_misses", Json(report.cache_misses));
+  }
+  return Json(std::move(object)).dump();
+}
+
+Json decode_response(std::string_view line) {
+  std::string parse_error;
+  std::optional<Json> document = Json::parse(line, &parse_error);
+  if (!document || !document->is_object()) {
+    reject(ErrorCode::kInternal, "malformed response line: " + parse_error);
+  }
+  return std::move(*document);
+}
+
+}  // namespace ebem::service

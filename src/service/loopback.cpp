@@ -1,0 +1,31 @@
+#include "src/service/loopback.hpp"
+
+#include <vector>
+
+namespace ebem::service {
+
+std::string LoopbackClient::call(std::string_view request) {
+  std::vector<std::string> responses = feed(std::string(request) + "\n");
+  if (responses.size() != 1) {
+    // A request containing a raw newline framed into several requests (or
+    // none) — the client misused the protocol.
+    return error_response(ErrorCode::kMalformedRequest,
+                          "request must be exactly one newline-free line");
+  }
+  return responses.front();
+}
+
+std::vector<std::string> LoopbackClient::feed(std::string_view bytes) {
+  std::vector<std::string> responses;
+  buffer_.append(bytes);
+  while (std::optional<std::string> line = buffer_.pop_line()) {
+    responses.push_back(dispatcher_->handle(*line));
+  }
+  if (buffer_.overflowed()) {
+    responses.push_back(
+        error_response(ErrorCode::kMalformedRequest, "request line exceeds the frame bound"));
+  }
+  return responses;
+}
+
+}  // namespace ebem::service

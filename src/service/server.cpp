@@ -1,0 +1,180 @@
+#include "src/service/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace ebem::service {
+
+namespace {
+
+void close_quietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Write all of `bytes`, retrying on EINTR / partial writes.
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Dispatcher& dispatcher, std::uint16_t port) : dispatcher_(&dispatcher) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw IoError("socket(): " + std::string(std::strerror(errno)));
+
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string message = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw IoError("bind(127.0.0.1:" + std::to_string(port) + "): " + message);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string message = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw IoError("listen(): " + message);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const std::string message = std::strerror(errno);
+    close_quietly(listen_fd_);
+    throw IoError("getsockname(): " + message);
+  }
+  port_ = ntohs(bound.sin_port);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Poll with a timeout so stop() is noticed within one tick even if no
+    // connection ever arrives.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (stopping_.load(std::memory_order_acquire)) {
+      close_quietly(fd);
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    const std::scoped_lock lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  LineBuffer buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client closed (or stop() shut the socket down)
+    buffer.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+    while (std::optional<std::string> line = buffer.pop_line()) {
+      const std::string response = dispatcher_->handle(*line) + "\n";
+      if (!write_all(fd, response)) {
+        open = false;
+        break;
+      }
+    }
+    if (buffer.overflowed()) {
+      // The stream is no longer frameable; answer once and hang up.
+      (void)write_all(fd, error_response(ErrorCode::kMalformedRequest,
+                                         "request line exceeds the frame bound") +
+                              "\n");
+      break;
+    }
+  }
+  close_quietly(fd);
+}
+
+void Server::stop() {
+  // One caller owns the whole teardown; concurrent/repeat calls wait here
+  // and then find nothing left to do.
+  const std::scoped_lock stop_lock(stop_mutex_);
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  close_quietly(listen_fd_);
+  listen_fd_ = -1;
+
+  std::vector<int> fds;
+  std::vector<std::thread> threads;
+  {
+    const std::scoped_lock lock(connections_mutex_);
+    fds.swap(connection_fds_);
+    threads.swap(connection_threads_);
+  }
+  // Shut the sockets down so blocked recv()s return, then join.
+  for (const int fd : fds) ::shutdown(fd, SHUT_RDWR);
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+Client::Client(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw IoError("socket(): " + std::string(std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string message = std::strerror(errno);
+    close_quietly(fd_);
+    throw IoError("connect(127.0.0.1:" + std::to_string(port) + "): " + message);
+  }
+}
+
+Client::~Client() { close_quietly(fd_); }
+
+std::string Client::call(std::string_view request) {
+  send_raw(std::string(request) + "\n");
+  return read_line();
+}
+
+void Client::send_raw(std::string_view bytes) {
+  if (!write_all(fd_, bytes)) throw IoError("send(): connection lost");
+}
+
+std::string Client::read_line() {
+  while (true) {
+    if (std::optional<std::string> line = buffer_.pop_line()) return *line;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw IoError("recv(): connection closed before a full response line");
+    buffer_.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace ebem::service

@@ -1,0 +1,101 @@
+// service::Server — the minimal blocking POSIX-socket front door.
+//
+// A deliberately small loop: bind 127.0.0.1 (ephemeral port when asked for
+// port 0 — tests and the bench discover the real port via port()), accept
+// on a poll()ed listener so stop() is prompt, and serve each connection on
+// its own thread through the same LineBuffer framing and Dispatcher::handle
+// path the loopback transport uses. Every service decision — admission,
+// quotas, billing, shutdown semantics — lives in the Dispatcher; this file
+// only moves bytes, which is what keeps the core transport-agnostic and
+// unit-testable without sockets.
+//
+// Client is the matching blocking line client (connect, one line out, one
+// line back), enough for the example, the bench and the end-to-end tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/service/codec.hpp"
+#include "src/service/dispatcher.hpp"
+
+namespace ebem::service {
+
+class Server {
+ public:
+  /// Bind and listen on 127.0.0.1:`port` (0 = ephemeral; see port()) and
+  /// start the accept loop. The dispatcher is borrowed and must outlive the
+  /// server. Throws ebem::IoError when the socket cannot be set up.
+  Server(Dispatcher& dispatcher, std::uint16_t port = 0);
+
+  /// Calls stop().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port — the requested one, or the kernel-assigned ephemeral
+  /// port when constructed with 0.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, shut down every live connection's socket, join all
+  /// connection threads. Idempotent. Does NOT shut down the dispatcher —
+  /// in-flight engine runs keep running and stay billable; wire-initiated
+  /// shutdown goes through the "shutdown" request instead.
+  void stop();
+
+  /// Connections accepted over the server's lifetime.
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Dispatcher* dispatcher_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::mutex stop_mutex_;  ///< serializes stop() callers
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+
+  std::mutex connections_mutex_;
+  std::vector<int> connection_fds_;         ///< live sockets, for stop()
+  std::vector<std::thread> connection_threads_;
+
+  std::thread acceptor_;
+};
+
+/// Blocking line-protocol client: one call() = one request line out, one
+/// response line back. Not thread-safe; use one per thread.
+class Client {
+ public:
+  /// Connect to 127.0.0.1:`port`; throws ebem::IoError on failure.
+  explicit Client(std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send `request` (newline appended) and block for the response line.
+  /// Throws ebem::IoError when the connection drops mid-exchange.
+  [[nodiscard]] std::string call(std::string_view request);
+
+  /// Send raw bytes without framing — for tests that need to speak garbage.
+  void send_raw(std::string_view bytes);
+
+  /// Block for the next response line.
+  [[nodiscard]] std::string read_line();
+
+ private:
+  int fd_ = -1;
+  LineBuffer buffer_;
+};
+
+}  // namespace ebem::service

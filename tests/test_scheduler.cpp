@@ -7,6 +7,7 @@
 // PhaseReport sink the concurrent runs merge into.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -79,6 +80,38 @@ TEST(Scheduler, EmptyFutureThrowsOnEveryAccessor) {
   EXPECT_THROW((void)empty.ready(), ebem::InvalidArgument);
   EXPECT_THROW(empty.wait(), ebem::InvalidArgument);
   EXPECT_THROW((void)empty.get(), ebem::InvalidArgument);
+  EXPECT_THROW((void)empty.wait_for(std::chrono::milliseconds(1)), ebem::InvalidArgument);
+}
+
+TEST(Scheduler, WaitForTimesOutOnAQueuedRunThenSeesItTerminal) {
+  // Width 1 serializes runs: while the first (deliberately large) run
+  // assembles, the second is stuck queued, so a short wait_for on it must
+  // time out rather than block — the deadline-polling contract the service
+  // dispatcher's harvest loop is built on.
+  ExecutionConfig config;
+  config.pipeline_width = 1;
+  Engine engine(config);
+  RunFuture slow = engine.submit(bench_model(14));
+  RunFuture queued = engine.submit(bench_model(2));
+
+  EXPECT_FALSE(queued.wait_for(std::chrono::milliseconds(1)));
+  EXPECT_FALSE(queued.wait_for(std::chrono::nanoseconds::zero()));  // pure poll
+  EXPECT_FALSE(queued.ready());
+
+  EXPECT_TRUE(slow.wait_for(std::chrono::minutes(1)));
+  EXPECT_TRUE(queued.wait_for(std::chrono::minutes(1)));
+  EXPECT_EQ(queued.status(), RunStatus::kDone);
+  // Terminal now: wait_for is a cheap true at any timeout, including zero.
+  EXPECT_TRUE(queued.wait_for(std::chrono::nanoseconds::zero()));
+  EXPECT_GT(queued.get().equivalent_resistance, 0.0);
+}
+
+TEST(Scheduler, WaitForWorksOnFactorFuturesToo) {
+  Engine engine;
+  FactorFuture future = engine.submit_factor(bench_model(3));
+  EXPECT_TRUE(future.wait_for(std::chrono::minutes(1)));
+  const FactoredSystem system = future.take();
+  EXPECT_GT(system.size(), 0u);
 }
 
 TEST(Scheduler, SerialCacheOffPipelineIsBitwiseEqualToTheSerialShim) {
